@@ -1,0 +1,59 @@
+"""Ablation 2: aggregation strategy vs plain FIFO under bursty sends.
+
+Quantifies NewMadeleine's headline mechanism (Section 2.2): when the
+NIC is busy, accumulated small sends merge into fewer packet wrappers,
+amortizing per-message NIC costs.
+"""
+
+import pytest
+
+from repro import config
+from repro.runtime import run_mpi
+from repro.simulator import Trace
+from benchmarks.conftest import once
+
+N_SMALL = 64
+SMALL = 2048  # above the inline-pump threshold: queueing builds up
+
+
+def burst_program(comm):
+    """A 16 KiB blocker followed by a burst of small sends."""
+    if comm.rank == 0:
+        blocker = yield from comm.isend(1, tag="blk", size=16 << 10)
+        reqs = []
+        for i in range(N_SMALL):
+            req = yield from comm.isend(1, tag="s", size=SMALL, data=i)
+            reqs.append(req)
+        yield from comm.wait(blocker)
+        yield from comm.waitall(reqs)
+        return comm.sim.now
+    yield from comm.recv(src=0, tag="blk")
+    out = []
+    for _ in range(N_SMALL):
+        msg = yield from comm.recv(src=0, tag="s")
+        out.append(msg.data)
+    return out
+
+
+def run_with(strategy):
+    trace = Trace(categories={"nic.tx"})
+    r = run_mpi(burst_program, 2,
+                config.mpich2_nmad().with_(strategy=strategy),
+                cluster=config.xeon_pair(), trace=trace)
+    assert r.result(1) == list(range(N_SMALL))
+    return trace.count("nic.tx"), r.result(0)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_aggregation_vs_fifo(benchmark):
+    res = once(benchmark, lambda: {
+        "default": run_with("default"),
+        "aggreg": run_with("aggreg"),
+    })
+    frames_default, drain_default = res["default"]
+    frames_aggreg, drain_aggreg = res["aggreg"]
+
+    # aggregation coalesces the burst into far fewer wire packets
+    assert frames_aggreg < 0.75 * frames_default
+    # and the sender's injection queue drains sooner
+    assert drain_aggreg < drain_default

@@ -1,0 +1,41 @@
+"""Ablation 1: CH3-direct bypass vs the plain network-module path.
+
+Quantifies the paper's Section 3.1 design decision: bypassing Nemesis
+and CH3's protocols avoids queue-cell copies (small/medium messages)
+and the nested rendezvous handshake of Fig. 2 (large messages).
+"""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+SIZES = [4, 4 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bypass_vs_netmod(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        return {
+            "direct": run_netpipe(config.mpich2_nmad(), cluster, SIZES, reps=4),
+            "netmod": run_netpipe(config.mpich2_nmad_netmod(), cluster, SIZES,
+                                  reps=4),
+        }
+
+    res = once(benchmark, sweep)
+    for i, size in enumerate(SIZES):
+        # the direct path wins at every size
+        assert res["direct"].latencies[i] < res["netmod"].latencies[i]
+
+    # the nested handshake costs an extra round trip on large messages
+    i1m = SIZES.index(1 << 20)
+    gap = res["netmod"].latencies[i1m] - res["direct"].latencies[i1m]
+    assert gap > 3e-6
+
+    # the cell copies hurt medium eager messages proportionally more
+    i4k = SIZES.index(4 << 10)
+    ratio_medium = res["netmod"].latencies[i4k] / res["direct"].latencies[i4k]
+    assert ratio_medium > 1.3

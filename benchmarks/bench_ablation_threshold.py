@@ -1,0 +1,43 @@
+"""Ablation 4: the eager/rendezvous threshold sweep.
+
+NewMadeleine copies eager payloads into packet wrappers (two memcpys
+end to end) while the rendezvous path is zero-copy but pays a
+handshake plus on-the-fly registration.  The crossover justifies the
+default threshold.
+"""
+
+import pytest
+
+from repro import config
+from repro.nmad.core import NmadCosts
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+THRESHOLDS = [1 << 10, 16 << 10, 256 << 10]
+PROBE_SIZES = [4 << 10, 16 << 10, 64 << 10]
+
+
+def latency_with_threshold(threshold, size):
+    costs = NmadCosts(eager_threshold=threshold,
+                      max_pw_size=max(32 << 10, threshold))
+    spec = config.mpich2_nmad().with_(nmad_costs=costs)
+    res = run_netpipe(spec, config.xeon_pair(), [size], reps=4)
+    return res.latencies[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_eager_threshold_sweep(benchmark):
+    def sweep():
+        return {(t, s): latency_with_threshold(t, s)
+                for t in THRESHOLDS for s in PROBE_SIZES}
+
+    res = once(benchmark, sweep)
+
+    # 4 KiB: eager (threshold >= 16K) beats forced rendezvous (1K)
+    assert res[(16 << 10, 4 << 10)] < res[(1 << 10, 4 << 10)]
+    # 64 KiB: rendezvous (threshold 16K) beats forced eager (256K)
+    assert res[(16 << 10, 64 << 10)] < res[(256 << 10, 64 << 10)]
+    # the default 16 KiB threshold is optimal-or-tied at every probe size
+    for s in PROBE_SIZES:
+        best = min(res[(t, s)] for t in THRESHOLDS)
+        assert res[(16 << 10, s)] <= best * 1.02

@@ -1,0 +1,42 @@
+"""Extension bench: PIOMan's application-level overlap payoff.
+
+Asserts the shape of the paper's anticipated result ("benefits of
+PIOMan on real applications, especially in the overlapping
+department"): on a halo-exchange stencil, background progress turns the
+nonblocking idiom into real overlap.
+"""
+
+import pytest
+
+from repro import config
+from repro.workloads.stencil import StencilConfig, run_stencil
+from benchmarks.conftest import once
+
+CFG = StencilConfig(n=8192, iters=6)
+P = 16
+
+
+@pytest.mark.benchmark(group="extension")
+def test_stencil_overlap_payoff(benchmark):
+    def sweep():
+        out = {}
+        for name, factory in [("nmad", config.mpich2_nmad),
+                              ("pioman", config.mpich2_nmad_pioman),
+                              ("mvapich", config.mvapich2)]:
+            out[name] = {
+                "plain": run_stencil(factory(), P, CFG, overlap=False),
+                "over": run_stencil(factory(), P, CFG, overlap=True),
+            }
+        return out
+
+    res = once(benchmark, sweep)
+
+    def gain(name):
+        plain = res[name]["plain"].per_iter
+        return (plain - res[name]["over"].per_iter) / plain
+
+    # every stack gains a little from pre-posting; PIOMan gains 2x+ more
+    assert 0 <= gain("nmad") < 0.2
+    assert 0 <= gain("mvapich") < 0.2
+    assert gain("pioman") > 0.2
+    assert gain("pioman") > 2 * gain("nmad")

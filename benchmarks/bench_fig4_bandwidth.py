@@ -1,0 +1,34 @@
+"""Fig. 4(b): InfiniBand bandwidth, three configurations."""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+SIZES = [16 << 10, 64 << 10, 256 << 10, 4 << 20, 64 << 20]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_bandwidth(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        return {
+            "MVAPICH2": run_netpipe(config.mvapich2(), cluster, SIZES, reps=4),
+            "Open MPI": run_netpipe(config.openmpi_ib(), cluster, SIZES, reps=4),
+            "Nmad": run_netpipe(config.mpich2_nmad(), cluster, SIZES, reps=4),
+        }
+
+    res = once(benchmark, sweep)
+    peak = {k: v.bandwidth_at(64 << 20) for k, v in res.items()}
+
+    # paper: MVAPICH2 ~1400 > Nmad ~1300 > Open MPI ~1150 MiB/s
+    assert peak["MVAPICH2"] == pytest.approx(1400, rel=0.08)
+    assert peak["Nmad"] == pytest.approx(1300, rel=0.08)
+    assert peak["Open MPI"] == pytest.approx(1150, rel=0.08)
+    assert peak["MVAPICH2"] > peak["Nmad"] > peak["Open MPI"]
+
+    # paper: Nmad reaches higher bandwidth than Open MPI at medium sizes
+    for size in (64 << 10, 256 << 10):
+        assert res["Nmad"].bandwidth_at(size) > res["Open MPI"].bandwidth_at(size)

@@ -1,0 +1,30 @@
+"""Fig. 4(a): InfiniBand small-message latency, four configurations."""
+
+import pytest
+
+from repro.experiments import fig4_infiniband
+from benchmarks.conftest import once
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_latency(benchmark):
+    data = once(benchmark, lambda: fig4_infiniband.run(fast=True))
+    lat = data["latency"]
+    i4 = data["lat_sizes"].index(4)
+
+    mva = lat["MVAPICH2"][i4]
+    omp = lat["Open MPI"][i4]
+    nmad = lat["MPICH2:Nem:Nmad:IB"][i4]
+    nmad_as = lat["MPICH2:Nem:Nmad:IB w/AS"][i4]
+
+    # paper values: 1.5 / 1.6 / 2.1 / 2.4 us
+    assert mva == pytest.approx(1.5e-6, rel=0.1)
+    assert omp == pytest.approx(1.6e-6, rel=0.1)
+    assert nmad == pytest.approx(2.1e-6, rel=0.1)
+    # ordering and the constant ANY_SOURCE gap
+    assert mva < omp < nmad < nmad_as
+    assert nmad_as - nmad == pytest.approx(0.3e-6, rel=0.5)
+    # the AS gap stays constant as size grows
+    ilast = len(data["lat_sizes"]) - 1
+    gap_last = lat["MPICH2:Nem:Nmad:IB w/AS"][ilast] - lat["MPICH2:Nem:Nmad:IB"][ilast]
+    assert gap_last == pytest.approx(nmad_as - nmad, rel=0.2)

@@ -1,0 +1,37 @@
+"""Fig. 5(b): multirail bandwidth approaches the sum of the rails."""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+SIZES = [64 << 10, 1 << 20, 16 << 20, 64 << 20]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_multirail_bandwidth(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        return {
+            rails: run_netpipe(config.mpich2_nmad(rails=rails), cluster,
+                               SIZES, reps=3)
+            for rails in (("mx",), ("ib",), ("ib", "mx"))
+        }
+
+    res = once(benchmark, sweep)
+    big = 64 << 20
+    bw_mx = res[("mx",)].bandwidth_at(big)
+    bw_ib = res[("ib",)].bandwidth_at(big)
+    bw_multi = res[("ib", "mx")].bandwidth_at(big)
+
+    # paper: ~2250 MiB/s aggregate, near the sum of the rails
+    assert bw_multi == pytest.approx(2250, rel=0.08)
+    assert bw_multi > 0.85 * (bw_mx + bw_ib)
+    assert bw_multi > bw_ib > bw_mx
+
+    # below the split threshold the multirail curve tracks IB-only
+    small = 64 << 10
+    assert res[("ib", "mx")].bandwidth_at(small) == pytest.approx(
+        res[("ib",)].bandwidth_at(small), rel=0.02)

@@ -1,0 +1,29 @@
+"""Fig. 5(a): multirail latency — small messages ride the fastest rail."""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+SIZES = [4, 64, 512]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_multirail_latency(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        return {
+            rails: run_netpipe(config.mpich2_nmad(rails=rails), cluster,
+                               SIZES, reps=5)
+            for rails in (("mx",), ("ib",), ("ib", "mx"))
+        }
+
+    res = once(benchmark, sweep)
+    for i in range(len(SIZES)):
+        # multirail latency equals the IB-only (fastest-rail) latency
+        assert res[("ib", "mx")].latencies[i] == pytest.approx(
+            res[("ib",)].latencies[i], rel=0.01)
+        # and is clearly better than MX-only
+        assert res[("ib", "mx")].latencies[i] < res[("mx",)].latencies[i]

@@ -1,0 +1,34 @@
+"""Fig. 6(b): PIOMan's network-path (MX) latency overhead."""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+SIZES = [4, 64, 512]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_mx_overhead(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        return {
+            "nmad": run_netpipe(config.mpich2_nmad(rails=("mx",)), cluster,
+                                SIZES, reps=5),
+            "pioman": run_netpipe(config.mpich2_nmad_pioman(rails=("mx",)),
+                                  cluster, SIZES, reps=5),
+            "pml": run_netpipe(config.openmpi_pml_mx(), cluster, SIZES, reps=5),
+            "btl": run_netpipe(config.openmpi_btl_mx(), cluster, SIZES, reps=5),
+        }
+
+    res = once(benchmark, sweep)
+    gaps = [res["pioman"].latencies[i] - res["nmad"].latencies[i]
+            for i in range(len(SIZES))]
+
+    # paper: ~2 us overhead (stronger synchronization than shm), constant
+    assert gaps[0] == pytest.approx(2.0e-6, rel=0.25)
+    assert max(gaps) - min(gaps) < 0.2e-6
+    # BTL path visibly slower than PML/CM path
+    assert res["btl"].latencies[0] > res["pml"].latencies[0] + 1e-6

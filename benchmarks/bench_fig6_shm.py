@@ -1,0 +1,35 @@
+"""Fig. 6(a): PIOMan's intra-node (shared-memory) latency overhead."""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from benchmarks.conftest import once
+
+SIZES = [1, 64, 512]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_shm_overhead(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        return {
+            "nemesis": run_netpipe(config.mpich2_nmad(), cluster, SIZES,
+                                   reps=5, intra_node=True),
+            "pioman": run_netpipe(config.mpich2_nmad_pioman(), cluster, SIZES,
+                                  reps=5, intra_node=True),
+            "openmpi": run_netpipe(config.openmpi_ib(), cluster, SIZES,
+                                   reps=5, intra_node=True),
+        }
+
+    res = once(benchmark, sweep)
+    gaps = [res["pioman"].latencies[i] - res["nemesis"].latencies[i]
+            for i in range(len(SIZES))]
+
+    # paper: ~450 ns overhead, constant in size
+    assert gaps[0] == pytest.approx(0.45e-6, rel=0.25)
+    assert max(gaps) - min(gaps) < 0.1e-6
+    # Nemesis is the fastest shm path; Open MPI sits between
+    assert res["nemesis"].latencies[0] < res["openmpi"].latencies[0]
+    assert res["openmpi"].latencies[0] < res["pioman"].latencies[0]

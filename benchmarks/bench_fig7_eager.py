@@ -1,0 +1,45 @@
+"""Fig. 7(a): overlapping eager messages over MX (20 us compute)."""
+
+import pytest
+
+from repro import config
+from repro.workloads.overlap import run_overlap
+from benchmarks.conftest import once
+
+SIZES = [4 << 10, 16 << 10]
+COMPUTE = 20e-6
+
+STACKS = {
+    "nmad": lambda: config.mpich2_nmad(rails=("mx",)),
+    "pioman": lambda: config.mpich2_nmad_pioman(rails=("mx",)),
+    "pml": config.openmpi_pml_mx,
+    "btl": config.openmpi_btl_mx,
+}
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_eager_overlap(benchmark):
+    cluster = config.xeon_pair()
+
+    def sweep():
+        out = {}
+        for name, factory in STACKS.items():
+            out[name] = {
+                "ref": run_overlap(factory(), cluster, SIZES, 0.0, reps=3),
+                "loaded": run_overlap(factory(), cluster, SIZES, COMPUTE,
+                                      reps=3),
+            }
+        return out
+
+    res = once(benchmark, sweep)
+    for size in SIZES:
+        # non-PIOMan stacks: sending time ~ own-comm + compute (no overlap)
+        for name in ("nmad", "pml", "btl"):
+            ref = res[name]["ref"].at(size)
+            assert res[name]["loaded"].at(size) > ref + 0.75 * COMPUTE
+
+    # PIOMan at 16K (comm ~ comp): decisively below the sum
+    ref = res["pioman"]["ref"].at(16 << 10)
+    loaded = res["pioman"]["loaded"].at(16 << 10)
+    assert loaded < ref + 0.5 * COMPUTE
+    assert loaded < res["nmad"]["loaded"].at(16 << 10)

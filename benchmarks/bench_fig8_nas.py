@@ -1,0 +1,54 @@
+"""Fig. 8: NAS kernels across the four stacks (bench-scale: class A)."""
+
+import pytest
+
+from repro import config
+from repro.workloads.nas import adjust_procs, run_kernel
+from benchmarks.conftest import once
+
+KERNELS = ["bt", "cg", "ep", "ft", "sp", "mg", "lu"]
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_nas_class_a(benchmark):
+    def sweep():
+        out = {}
+        for kernel in KERNELS:
+            for p in (8, 16):
+                pk = adjust_procs(kernel, p)
+                out[(kernel, p)] = {
+                    "mvapich": run_kernel(kernel, "A", pk,
+                                          config.mvapich2()).time_seconds,
+                    "openmpi": run_kernel(kernel, "A", pk,
+                                          config.openmpi_ib()).time_seconds,
+                    "nmad": run_kernel(kernel, "A", pk,
+                                       config.mpich2_nmad()).time_seconds,
+                }
+        return out
+
+    res = once(benchmark, sweep)
+    for (kernel, p), times in res.items():
+        # every stack scales: p=16 beats p=8
+        if p == 16:
+            assert times["nmad"] < res[(kernel, 8)]["nmad"]
+        # Open MPI lags (paper calls out EP and LU; the efficiency factor
+        # shows everywhere, most visibly in compute-dominated kernels)
+        assert times["openmpi"] > times["nmad"] * 1.02
+        # MPICH2-NewMadeleine on par with the network-tailored MVAPICH2
+        assert times["nmad"] == pytest.approx(times["mvapich"], rel=0.05)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_pioman_overhead_under_3_percent(benchmark):
+    def sweep():
+        out = {}
+        for kernel in ("cg", "ft", "sp"):
+            pk = adjust_procs(kernel, 16)
+            base = run_kernel(kernel, "A", pk, config.mpich2_nmad())
+            piom = run_kernel(kernel, "A", pk, config.mpich2_nmad_pioman())
+            out[kernel] = (base.time_seconds, piom.time_seconds)
+        return out
+
+    res = once(benchmark, sweep)
+    for kernel, (base, piom) in res.items():
+        assert abs(piom - base) / base < 0.03

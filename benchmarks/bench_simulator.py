@@ -1,0 +1,110 @@
+"""Simulator-core throughput: events/second of the engine itself.
+
+Not a paper figure — engineering telemetry for the reproduction: the
+cost of events, task switches, and channel operations bounds how large
+a NAS configuration the harness can simulate per wall-second.
+"""
+
+import pytest
+
+from repro.simulator import Channel, Semaphore, Simulator
+
+N = 20_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_event_heap_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+        for i in range(N):
+            sim.schedule(i * 1e-9, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_task_switch_throughput(benchmark):
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(N // 10):
+                yield sim.timeout(1e-9)
+
+        for _ in range(10):
+            sim.spawn(proc())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_channel_pingpong_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        a, b = Channel(sim), Channel(sim)
+
+        def left():
+            for i in range(N // 10):
+                a.put(i)
+                yield b.get()
+
+        def right():
+            for _ in range(N // 10):
+                item = yield a.get()
+                b.put(item)
+
+        sim.spawn(left())
+        sim.spawn(right())
+        sim.run()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_semaphore_contention_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        sem = Semaphore(sim, value=2)
+
+        def worker():
+            for _ in range(N // 40):
+                yield sem.acquire()
+                yield sim.timeout(1e-9)
+                sem.release()
+
+        for _ in range(8):
+            sim.spawn(worker())
+        sim.run()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_full_stack_message_rate(benchmark):
+    """End-to-end: messages/second through the complete nmad stack."""
+    from repro import config
+    from repro.runtime import run_mpi
+
+    N_MSG = 300
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(N_MSG):
+                yield from comm.send(1, tag=i % 4, size=256, data=i)
+        else:
+            out = 0
+            for i in range(N_MSG):
+                msg = yield from comm.recv(src=0, tag=i % 4)
+                out += 1
+            return out
+
+    def run():
+        return run_mpi(program, 2, config.mpich2_nmad(),
+                       cluster=config.xeon_pair()).result(1)
+
+    assert benchmark(run) == N_MSG

@@ -1,0 +1,14 @@
+"""Benchmark harness conventions.
+
+Every ``bench_fig*`` file regenerates one panel of a paper figure: the
+pytest-benchmark timing measures the *simulator's* cost to reproduce
+it, and the assertions check the *paper-shape* invariants (who wins, by
+roughly what factor, where crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

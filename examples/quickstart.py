@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: run an MPI ping-pong over the simulated MPICH2-NewMadeleine.
+
+This is the two-minute tour of the public API:
+
+1. pick a stack configuration (``repro.config``),
+2. pick a cluster (the paper's dual-Xeon pair),
+3. write a rank program as a generator over the Communicator,
+4. ``run_mpi`` it and read the results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import config
+from repro.runtime import run_mpi
+
+
+def pingpong(comm):
+    """Rank 0 measures one-way latency to rank 1 across message sizes."""
+    results = []
+    for size in (4, 512, 64 << 10, 4 << 20):
+        reps = 10
+        # warm-up (registration caches, if the stack has any)
+        if comm.rank == 0:
+            yield from comm.send(1, tag=("warm", size), size=size)
+            yield from comm.recv(src=1, tag=("warm", size))
+        else:
+            yield from comm.recv(src=0, tag=("warm", size))
+            yield from comm.send(0, tag=("warm", size), size=size)
+
+        t0 = comm.sim.now
+        for i in range(reps):
+            if comm.rank == 0:
+                yield from comm.send(1, tag=(size, i), size=size, data=b"ping")
+                msg = yield from comm.recv(src=1, tag=(size, i))
+                assert msg.data == b"pong"
+            else:
+                msg = yield from comm.recv(src=0, tag=(size, i))
+                assert msg.data == b"ping"
+                yield from comm.send(0, tag=(size, i), size=size, data=b"pong")
+        one_way = (comm.sim.now - t0) / (2 * reps)
+        results.append((size, one_way))
+    return results
+
+
+def main():
+    print("MPICH2-NewMadeleine over simulated ConnectX InfiniBand")
+    print(f"{'size':>10} {'one-way latency':>18} {'bandwidth':>14}")
+    result = run_mpi(pingpong, nprocs=2, stack=config.mpich2_nmad(),
+                     cluster=config.xeon_pair())
+    for size, one_way in result.result(0):
+        bw = size / one_way / (1 << 20)
+        print(f"{size:>10} {one_way * 1e6:>15.2f} us {bw:>9.0f} MiB/s")
+
+    print("\nSame program, MVAPICH2 comparator:")
+    result = run_mpi(pingpong, nprocs=2, stack=config.mvapich2(),
+                     cluster=config.xeon_pair())
+    for size, one_way in result.result(0):
+        print(f"{size:>10} {one_way * 1e6:>15.2f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: offline environments without the `wheel` package cannot
+use PEP 660 editable installs, so `pip install -e .` goes through here."""
+from setuptools import setup
+
+setup()

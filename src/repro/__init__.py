@@ -1,0 +1,20 @@
+"""Simulation-based reproduction of *NewMadeleine: An Efficient Support
+for High-Performance Networks in MPICH2* (Mercier, Trahay, Buntinas,
+Brunet -- IPDPS 2009).
+
+Public surface:
+
+* :func:`repro.runtime.run_mpi` -- run a rank program on a simulated
+  cluster under one of the paper's stack configurations.
+* :mod:`repro.config` -- stack and cluster presets (MPICH2-NewMadeleine
+  with/without PIOMan, MVAPICH2, Open MPI, the paper's testbeds).
+* :mod:`repro.workloads` -- Netpipe, the overlap benchmark, NAS skeletons.
+* :mod:`repro.experiments` -- one module per paper figure.
+"""
+
+from repro import config
+from repro.runtime import MPIRuntime, RunResult, run_mpi
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "run_mpi", "MPIRuntime", "RunResult", "__version__"]

@@ -1,0 +1,98 @@
+"""Trace analysis: summaries and text timelines of simulation traces.
+
+Enable tracing by passing a :class:`~repro.simulator.Trace` to
+``run_mpi`` (or a ``Simulator``); this module turns the records into
+per-rail traffic summaries and terminal-friendly timelines — the
+debugging view of "what actually went over which wire, when".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simulator import Trace
+
+
+@dataclass
+class RailSummary:
+    frames: int = 0
+    bytes: int = 0
+    kinds: Dict[str, int] = field(default_factory=dict)
+    first_tx: Optional[float] = None
+    last_tx: Optional[float] = None
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bytes per second over the rail's active span (0 if trivial)."""
+        if self.first_tx is None or self.last_tx is None:
+            return 0.0
+        span = self.last_tx - self.first_tx
+        return self.bytes / span if span > 0 else 0.0
+
+
+@dataclass
+class TrafficSummary:
+    rails: Dict[str, RailSummary] = field(default_factory=dict)
+    total_frames: int = 0
+    total_bytes: int = 0
+
+    def rail(self, name: str) -> RailSummary:
+        return self.rails[name]
+
+
+def summarize_traffic(trace: Trace) -> TrafficSummary:
+    """Aggregate ``nic.tx`` records into per-rail statistics."""
+    out = TrafficSummary()
+    for rec in trace.filter("nic.tx"):
+        rail = rec.data["rail"]
+        rs = out.rails.setdefault(rail, RailSummary())
+        rs.frames += 1
+        rs.bytes += rec.data["size"]
+        kind = rec.data.get("kind", "?")
+        rs.kinds[kind] = rs.kinds.get(kind, 0) + 1
+        if rs.first_tx is None:
+            rs.first_tx = rec.time
+        rs.last_tx = rec.time
+        out.total_frames += 1
+        out.total_bytes += rec.data["size"]
+    return out
+
+
+def format_traffic(summary: TrafficSummary) -> str:
+    """A compact human-readable traffic report."""
+    lines = [f"total: {summary.total_frames} frames, "
+             f"{summary.total_bytes} bytes"]
+    for rail in sorted(summary.rails):
+        rs = summary.rails[rail]
+        kinds = ", ".join(f"{k}:{n}" for k, n in sorted(rs.kinds.items()))
+        lines.append(f"  rail {rail}: {rs.frames} frames, {rs.bytes} bytes "
+                     f"({kinds})")
+    return "\n".join(lines)
+
+
+def format_timeline(trace: Trace, category: str = "nic.tx",
+                    width: int = 60, buckets: Optional[int] = None) -> str:
+    """An ASCII activity histogram of one trace category over time.
+
+    Each row is a time bucket; bar length is proportional to the bytes
+    transmitted in that bucket.
+    """
+    records = trace.filter(category)
+    if not records:
+        return "(no records)"
+    buckets = buckets or 20
+    t0 = records[0].time
+    t1 = records[-1].time
+    span = max(t1 - t0, 1e-12)
+    totals = [0] * buckets
+    for rec in records:
+        i = min(int((rec.time - t0) / span * buckets), buckets - 1)
+        totals[i] += rec.data.get("size", 1)
+    peak = max(totals) or 1
+    lines = []
+    for i, total in enumerate(totals):
+        t = t0 + span * i / buckets
+        bar = "#" * max(1 if total else 0, int(total / peak * width))
+        lines.append(f"{t * 1e6:10.1f}us |{bar:<{width}}| {total}B")
+    return "\n".join(lines)

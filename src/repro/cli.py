@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``   run paper-figure reproductions (all or by name)
+``netpipe``       latency/bandwidth sweep for one stack
+``overlap``       the Fig. 7 isend/compute/wait measurement
+``nas``           one NAS kernel run
+``stacks``        list available stack presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import config
+
+_STACKS = {
+    "mpich2_nmad": config.mpich2_nmad,
+    "mpich2_nmad_pioman": config.mpich2_nmad_pioman,
+    "mpich2_nmad_netmod": config.mpich2_nmad_netmod,
+    "mpich2_nmad_multirail": lambda: config.mpich2_nmad(rails=("ib", "mx")),
+    "mvapich2": config.mvapich2,
+    "openmpi_ib": config.openmpi_ib,
+    "openmpi_pml_mx": config.openmpi_pml_mx,
+    "openmpi_btl_mx": config.openmpi_btl_mx,
+}
+
+
+def _parse_size(text: str) -> int:
+    """'4', '64K', '1M' -> bytes."""
+    text = text.strip().upper()
+    mult = 1
+    if text.endswith("K"):
+        mult, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        mult, text = 1 << 20, text[:-1]
+    return int(text) * mult
+
+
+def _stack(name: str):
+    try:
+        return _STACKS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown stack {name!r}; available: {', '.join(sorted(_STACKS))}")
+
+
+def cmd_stacks(_args) -> int:
+    for name in sorted(_STACKS):
+        print(f"  {name:24s} -> {_STACKS[name]().name}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import (EXPERIMENTS, fig4_infiniband,
+                                   fig5_multirail, fig6_pioman_overhead,
+                                   fig7_overlap, fig8_nas)
+
+    modules = {
+        "fig4_infiniband": fig4_infiniband,
+        "fig5_multirail": fig5_multirail,
+        "fig6_pioman_overhead": fig6_pioman_overhead,
+        "fig7_overlap": fig7_overlap,
+        "fig8_nas": fig8_nas,
+    }
+    names = args.names or EXPERIMENTS
+    for name in names:
+        if name not in modules:
+            raise SystemExit(f"unknown experiment {name!r}; "
+                             f"available: {', '.join(EXPERIMENTS)}")
+        modules[name].main(fast=args.fast)
+    return 0
+
+
+def cmd_netpipe(args) -> int:
+    from repro.workloads.netpipe import run_netpipe
+
+    sizes = [_parse_size(s) for s in args.sizes.split(",")]
+    spec = _stack(args.stack)
+    cluster = config.xeon_pair()
+    res = run_netpipe(spec, cluster, sizes, reps=args.reps,
+                      anysource=args.anysource, intra_node=args.intra)
+    print(f"# {spec.name}" + (" (intra-node)" if args.intra else ""))
+    print(f"{'size':>10} {'latency_us':>12} {'MiB/s':>10}")
+    for i, size in enumerate(res.sizes):
+        print(f"{size:>10} {res.latencies[i] * 1e6:>12.2f} "
+              f"{res.bandwidths[i]:>10.0f}")
+    return 0
+
+
+def cmd_overlap(args) -> int:
+    from repro.workloads.overlap import run_overlap
+
+    spec = _stack(args.stack)
+    size = _parse_size(args.size)
+    compute = float(args.compute) * 1e-6
+    ref = run_overlap(spec, config.xeon_pair(), [size], 0.0, reps=args.reps)
+    res = run_overlap(spec, config.xeon_pair(), [size], compute,
+                      reps=args.reps)
+    print(f"# {spec.name}, {size} B, compute {compute * 1e6:.0f} us")
+    print(f"communication alone : {ref.at(size) * 1e6:9.1f} us")
+    print(f"sending time        : {res.at(size) * 1e6:9.1f} us")
+    print(f"sum / max reference : {(ref.at(size) + compute) * 1e6:9.1f} / "
+          f"{max(ref.at(size), compute) * 1e6:.1f} us")
+    return 0
+
+
+def cmd_nas(args) -> int:
+    from repro.workloads.nas import adjust_procs, run_kernel
+
+    spec = _stack(args.stack)
+    procs = adjust_procs(args.kernel, args.procs)
+    res = run_kernel(args.kernel, args.cls, procs, spec,
+                     sim_iters=args.sim_iters)
+    print(f"{args.kernel.upper()} class {args.cls}, {procs} processes, "
+          f"{spec.name}")
+    print(f"projected execution time: {res.time_seconds:.1f} s "
+          f"({res.simulated_iters}/{res.total_iters} iterations simulated)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NewMadeleine-in-MPICH2 reproduction (IPDPS 2009)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stacks", help="list stack presets")
+    p.set_defaults(fn=cmd_stacks)
+
+    p = sub.add_parser("experiments", help="run paper-figure reproductions")
+    p.add_argument("names", nargs="*", help="figure modules (default: all)")
+    p.add_argument("--fast", action="store_true", help="reduced sweeps")
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("netpipe", help="latency/bandwidth sweep")
+    p.add_argument("--stack", default="mpich2_nmad")
+    p.add_argument("--sizes", default="4,1K,64K,1M",
+                   help="comma list, K/M suffixes allowed")
+    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--anysource", action="store_true")
+    p.add_argument("--intra", action="store_true",
+                   help="both ranks on one node (shared memory)")
+    p.set_defaults(fn=cmd_netpipe)
+
+    p = sub.add_parser("overlap", help="isend/compute/wait measurement")
+    p.add_argument("--stack", default="mpich2_nmad_pioman")
+    p.add_argument("--size", default="256K")
+    p.add_argument("--compute", default="400", help="microseconds")
+    p.add_argument("--reps", type=int, default=3)
+    p.set_defaults(fn=cmd_overlap)
+
+    p = sub.add_parser("nas", help="run one NAS kernel")
+    p.add_argument("--kernel", default="cg",
+                   choices=["bt", "cg", "ep", "ft", "sp", "mg", "lu", "is"])
+    p.add_argument("--cls", default="A", choices=["A", "B", "C"])
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--stack", default="mpich2_nmad")
+    p.add_argument("--sim-iters", type=int, default=None)
+    p.set_defaults(fn=cmd_nas)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Simulated comparator MPI implementations (paper Section 4).
+
+The paper evaluates against MVAPICH2 1.0.3 and Open MPI 1.2.7.  Only
+their externally observable behaviour matters for the comparison, so
+they are modeled as parameterized *native stacks*: a classic
+eager/rendezvous protocol directly over one NIC, a registration cache
+(MVAPICH2) or pipelined RDMA protocol (Open MPI), their own
+shared-memory path, wildcard matching in a central queue pair, and —
+crucially — **no asynchronous progress** (neither overlaps
+communication with computation, Fig. 7).
+"""
+
+from repro.comparators.native import NativeStack, NativeCosts, NativeMsg
+from repro.comparators import presets
+
+__all__ = ["NativeStack", "NativeCosts", "NativeMsg", "presets"]

@@ -1,0 +1,133 @@
+"""Stack and cluster configuration: the knobs of every experiment.
+
+A :class:`StackSpec` describes one MPI implementation under test; a
+:class:`ClusterSpec` describes the machines.  ``presets`` builds the
+configurations the paper evaluates:
+
+======================  =====================================================
+preset                  paper name
+======================  =====================================================
+``mpich2_nmad``         MPICH2:Nem:Nmad (CH3-direct over NewMadeleine)
+``mpich2_nmad_pioman``  MPICH2:Nem:Nmad:PIOMan
+``mpich2_nmad_netmod``  plain network-module path (ablation, Fig. 2 costs)
+``mvapich2``            MVAPICH2 1.0.3
+``openmpi_ib``          Open MPI 1.2.7 (openib)
+``openmpi_pml_mx``      Open MPI PML/CM over MX
+``openmpi_btl_mx``      Open MPI BTL over MX
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.comparators import presets as comparator_presets
+from repro.comparators.native import NativeCosts
+from repro.hardware import presets as hw
+from repro.hardware.params import NICParams, NodeParams
+from repro.mpich2.ch3 import CH3Costs
+from repro.mpich2.nemesis.shm import ShmCosts
+from repro.nmad.core import NmadCosts
+from repro.pioman import PIOManParams
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Machines: node count/shape and the rails connecting them."""
+
+    n_nodes: int
+    node: NodeParams = hw.XEON_NODE
+    rails: Tuple[NICParams, ...] = (hw.IB_CONNECTX,)
+
+    def rail_names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.rails)
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """One MPI implementation configuration."""
+
+    name: str
+    kind: str = "nmad"                       # "nmad" | "native"
+    rails: Tuple[str, ...] = ("ib",)         # rails this stack drives
+    strategy: str = "aggreg"                 # nmad scheduling strategy
+    mode: str = "direct"                     # "direct" | "netmod"
+    pioman: bool = False
+    reg_cache: bool = False                  # nmad registers on the fly
+    nmad_costs: NmadCosts = field(default_factory=NmadCosts)
+    ch3_costs: CH3Costs = field(default_factory=CH3Costs)
+    shm_costs: ShmCosts = field(default_factory=ShmCosts)
+    pioman_params: PIOManParams = field(default_factory=PIOManParams)
+    native_costs: Optional[NativeCosts] = None
+    driver_window: int = 2
+
+    @property
+    def compute_efficiency(self) -> float:
+        if self.kind == "native" and self.native_costs is not None:
+            return self.native_costs.compute_efficiency
+        return 1.0
+
+    def with_(self, **kw) -> "StackSpec":
+        """A modified copy (ablation helper)."""
+        return replace(self, **kw)
+
+
+# ---------------------------------------------------------------------------
+# paper configurations
+# ---------------------------------------------------------------------------
+
+def mpich2_nmad(rails: Tuple[str, ...] = ("ib",), strategy: Optional[str] = None,
+                pioman: bool = False, **kw) -> StackSpec:
+    """MPICH2 with the CH3-direct NewMadeleine integration."""
+    if strategy is None:
+        strategy = "split_balance" if len(rails) > 1 else "aggreg"
+    suffix = "+".join(rails) + (":PIOMan" if pioman else "")
+    return StackSpec(name=f"MPICH2:Nem:Nmad:{suffix}", kind="nmad",
+                     rails=rails, strategy=strategy, mode="direct",
+                     pioman=pioman, **kw)
+
+
+def mpich2_nmad_pioman(rails: Tuple[str, ...] = ("ib",), **kw) -> StackSpec:
+    return mpich2_nmad(rails=rails, pioman=True, **kw)
+
+
+def mpich2_nmad_netmod(rails: Tuple[str, ...] = ("ib",), **kw) -> StackSpec:
+    """The unmodified network-module path: cell copies + nested handshakes."""
+    return StackSpec(name=f"MPICH2:Nem:netmod:{'+'.join(rails)}", kind="nmad",
+                     rails=rails, strategy="aggreg", mode="netmod", **kw)
+
+
+def mvapich2(**kw) -> StackSpec:
+    return StackSpec(name="MVAPICH2", kind="native", rails=("ib",),
+                     native_costs=comparator_presets.MVAPICH2_IB, **kw)
+
+
+def openmpi_ib(**kw) -> StackSpec:
+    return StackSpec(name="Open MPI", kind="native", rails=("ib",),
+                     native_costs=comparator_presets.OPENMPI_IB, **kw)
+
+
+def openmpi_pml_mx(**kw) -> StackSpec:
+    return StackSpec(name="Open MPI:PML:MX", kind="native", rails=("mx",),
+                     native_costs=comparator_presets.OPENMPI_PML_MX, **kw)
+
+
+def openmpi_btl_mx(**kw) -> StackSpec:
+    return StackSpec(name="Open MPI:BTL:MX", kind="native", rails=("mx",),
+                     native_costs=comparator_presets.OPENMPI_BTL_MX, **kw)
+
+
+# ---------------------------------------------------------------------------
+# paper testbeds
+# ---------------------------------------------------------------------------
+
+def xeon_pair(rails: Tuple[NICParams, ...] = (hw.IB_CONNECTX, hw.MX_MYRI10G)) -> ClusterSpec:
+    """The point-to-point testbed: 2 dual-quadcore Xeon boxes."""
+    return ClusterSpec(n_nodes=2, node=hw.XEON_NODE, rails=rails)
+
+
+def grid5000(n_nodes: int = 10) -> ClusterSpec:
+    """The NAS testbed: Opteron nodes with one IB 10G NIC each."""
+    return ClusterSpec(n_nodes=n_nodes, node=hw.OPTERON_NODE,
+                       rails=(hw.IB_10G_SDR,))

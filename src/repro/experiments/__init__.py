@@ -1,0 +1,25 @@
+"""One experiment module per figure of the paper's evaluation section.
+
+Run any module directly::
+
+    python -m repro.experiments.fig4_infiniband
+    python -m repro.experiments.fig5_multirail
+    python -m repro.experiments.fig6_pioman_overhead
+    python -m repro.experiments.fig7_overlap
+    python -m repro.experiments.fig8_nas
+    python -m repro.experiments.run_all        # everything, with summaries
+
+Each module exposes ``run(fast=False)`` returning the measured series
+and ``main()`` printing them in the paper's layout.  ``fast=True``
+shrinks sweeps/classes for quick checks (used by the benchmarks).
+"""
+
+EXPERIMENTS = [
+    "fig4_infiniband",
+    "fig5_multirail",
+    "fig6_pioman_overhead",
+    "fig7_overlap",
+    "fig8_nas",
+]
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,46 @@
+"""Shared table formatting for the experiment scripts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def human_size(size: int) -> str:
+    if size >= 1 << 20:
+        return f"{size >> 20}M"
+    if size >= 1024:
+        return f"{size >> 10}K"
+    return str(size)
+
+
+def print_series_table(title: str, sizes: Sequence[int],
+                       series: Dict[str, List[float]],
+                       unit: str, scale: float = 1.0,
+                       fmt: str = "8.2f") -> None:
+    """Print one curve family as an aligned table (sizes as rows)."""
+    print(f"\n== {title} ({unit}) ==")
+    names = list(series)
+    width = max(len(n) for n in names) + 2
+    header = f"{'size':>8} " + "".join(f"{n:>{max(width, 10)}}" for n in names)
+    print(header)
+    for i, size in enumerate(sizes):
+        row = f"{human_size(size):>8} "
+        for n in names:
+            row += f"{format(series[n][i] * scale, fmt):>{max(width, 10)}}"
+        print(row)
+
+
+def print_grouped_table(title: str, row_labels: Sequence[str],
+                        series: Dict[str, List[float]], unit: str,
+                        fmt: str = "9.1f") -> None:
+    """Print rows labelled by arbitrary strings (NAS kernels, etc.)."""
+    print(f"\n== {title} ({unit}) ==")
+    names = list(series)
+    width = max(10, max(len(n) for n in names) + 2)
+    print(f"{'':>10} " + "".join(f"{n:>{width}}" for n in names))
+    for i, label in enumerate(row_labels):
+        row = f"{label:>10} "
+        for n in names:
+            value = series[n][i]
+            row += f"{'-':>{width}}" if value is None else f"{format(value, fmt):>{width}}"
+        print(row)

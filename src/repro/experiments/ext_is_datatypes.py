@@ -1,0 +1,84 @@
+"""Extension experiment: the IS kernel the paper could not run.
+
+The paper excluded NAS IS because "IS needs datatypes support and
+MPICH2-NewMadeleine does not handle yet this functionality", and its
+conclusion suggests NewMadeleine's optimization schemes could improve
+non-contiguous datatype performance.  This reproduction includes a
+datatype model (pack/unpack costs for strided layouts), so IS runs —
+and we can quantify how much of its time the datatype handling costs by
+comparing against a contiguous-layout variant of the same skeleton.
+
+Run: ``python -m repro.experiments.ext_is_datatypes``
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.experiments.common import print_grouped_table
+from repro.workloads.nas import run_kernel
+from repro.workloads.nas.base import KERNELS, KernelSpec
+
+PROCS = [4, 8, 16]
+
+
+def _contiguous_is() -> KernelSpec:
+    """The IS skeleton with the strided key exchange made contiguous."""
+    from repro.workloads.nas import is_ as is_module
+
+    def iteration(comm, ctx, i):
+        nkeys = ctx.cls.grid[0]
+        p = ctx.p
+        yield from comm.compute(ctx.compute_per_iter)
+        if p > 1:
+            yield from comm.allreduce(size=4 * 1024)
+            pair = max(64, 4 * nkeys // (p * p))
+            yield from comm.alltoall(size=pair)
+
+    spec = KERNELS["is"]
+    return KernelSpec(
+        name="is-contig", rate_gflops=spec.rate_gflops,
+        classes=spec.classes, iteration=iteration,
+        proc_rule=spec.proc_rule, default_sim_iters=spec.default_sim_iters)
+
+
+def run(fast: bool = False, cls: str = None) -> Dict:
+    cls = cls or ("A" if fast else "B")
+    procs = PROCS[:2] if fast else PROCS
+
+    contig = _contiguous_is()
+    KERNELS["is-contig"] = contig
+    try:
+        tables: Dict[str, list] = {
+            "strided (datatypes)": [], "contiguous": [],
+            "strided, MVAPICH2": [],
+        }
+        for p in procs:
+            tables["strided (datatypes)"].append(
+                run_kernel("is", cls, p, config.mpich2_nmad()).time_seconds)
+            tables["contiguous"].append(
+                run_kernel("is-contig", cls, p,
+                           config.mpich2_nmad()).time_seconds)
+            tables["strided, MVAPICH2"].append(
+                run_kernel("is", cls, p, config.mvapich2()).time_seconds)
+    finally:
+        KERNELS.pop("is-contig", None)
+    return {"class": cls, "procs": procs, "tables": tables}
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    print_grouped_table(
+        f"Extension: NAS IS class {data['class']} "
+        "(excluded from the paper's runs)",
+        [f"p={p}" for p in data["procs"]], data["tables"],
+        "seconds", fmt="9.2f")
+    print("\nThe strided/contiguous gap is the datatype pack/unpack cost —")
+    print("the overhead the paper hoped NewMadeleine's optimization schemes")
+    print("could attack (conclusion, future work).")
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Extension experiment: PIOMan's benefit on an overlapping application.
+
+The paper's conclusion: "We also intend to exhibit the benefits of
+PIOMan on real applications, especially in the overlapping department."
+The NAS kernels barely use the post/compute/wait idiom (Section 4.2);
+a halo-exchange stencil is the textbook application that does.  This
+experiment measures it: per-stack, overlapped vs non-overlapped halo
+exchange.
+
+Run: ``python -m repro.experiments.ext_stencil_overlap``
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.experiments.common import print_grouped_table
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+STACKS = [
+    ("MVAPICH2", config.mvapich2),
+    ("Open MPI", config.openmpi_ib),
+    ("MPICH2-Nmad", config.mpich2_nmad),
+    ("MPICH2-Nmad+PIOMan", config.mpich2_nmad_pioman),
+]
+
+
+def run(fast: bool = False, nprocs: int = 16) -> Dict:
+    cfg = StencilConfig(n=4096 if fast else 8192, iters=4 if fast else 10)
+    tables: Dict[str, list] = {"no overlap": [], "overlapped": [],
+                               "speedup %": []}
+    rows = []
+    for name, factory in STACKS:
+        rows.append(name)
+        plain = run_stencil(factory(), nprocs, cfg, overlap=False)
+        over = run_stencil(factory(), nprocs, cfg, overlap=True)
+        tables["no overlap"].append(plain.per_iter * 1e3)
+        tables["overlapped"].append(over.per_iter * 1e3)
+        tables["speedup %"].append(
+            100.0 * (plain.per_iter - over.per_iter) / plain.per_iter)
+    return {"rows": rows, "tables": tables, "nprocs": nprocs, "cfg": cfg}
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    print_grouped_table(
+        f"Extension: 2D stencil halo exchange, {data['nprocs']} processes "
+        f"(n={data['cfg'].n})",
+        data["rows"], data["tables"], "ms/iteration | %", fmt="9.3f")
+    print("\nOnly the PIOMan-backed stack converts the nonblocking halo")
+    print("idiom into actual overlap — the application-level payoff the")
+    print("paper's conclusion anticipates.")
+    return data
+
+
+if __name__ == "__main__":
+    main()

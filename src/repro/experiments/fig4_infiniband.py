@@ -1,0 +1,68 @@
+"""Fig. 4 — InfiniBand performance comparisons (latency and bandwidth).
+
+Paper reference points (Section 4.1.1):
+
+* latency at small sizes: MVAPICH2 1.5 us, Open MPI 1.6 us,
+  MPICH2:Nem:Nmad 2.1 us, +300 ns constant with MPI_ANY_SOURCE;
+* bandwidth: MVAPICH2 peaks highest (~1400 MiB/s); MPICH2-NewMadeleine
+  beats Open MPI at medium sizes despite registering memory on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.experiments.common import print_series_table
+from repro.workloads.netpipe import (
+    BANDWIDTH_SIZES,
+    LATENCY_SIZES,
+    run_netpipe,
+)
+
+PAPER = {
+    "latency_us": {"MVAPICH2": 1.5, "Open MPI": 1.6,
+                   "MPICH2:Nem:Nmad:IB": 2.1, "MPICH2:Nem:Nmad:IB w/AS": 2.4},
+    "peak_bandwidth_MiBs": {"MVAPICH2": 1400, "MPICH2:Nem:Nmad:IB": 1300,
+                            "Open MPI": 1150},
+}
+
+
+def run(fast: bool = False) -> Dict:
+    cluster = config.xeon_pair()
+    lat_sizes = LATENCY_SIZES[:6] if fast else LATENCY_SIZES
+    bw_sizes = BANDWIDTH_SIZES[::2] if fast else BANDWIDTH_SIZES
+    reps = 3 if fast else 10
+
+    stacks = [
+        ("MVAPICH2", config.mvapich2(), False),
+        ("Open MPI", config.openmpi_ib(), False),
+        ("MPICH2:Nem:Nmad:IB", config.mpich2_nmad(rails=("ib",)), False),
+        ("MPICH2:Nem:Nmad:IB w/AS", config.mpich2_nmad(rails=("ib",)), True),
+    ]
+    latency: Dict[str, list] = {}
+    for name, spec, anysrc in stacks:
+        res = run_netpipe(spec, cluster, lat_sizes, reps=reps, anysource=anysrc)
+        latency[name] = res.latencies
+
+    bandwidth: Dict[str, list] = {}
+    for name, spec, _ in stacks[:3]:
+        res = run_netpipe(spec, cluster, bw_sizes, reps=max(3, reps // 2))
+        bandwidth[name] = res.bandwidths
+
+    return {"lat_sizes": lat_sizes, "latency": latency,
+            "bw_sizes": bw_sizes, "bandwidth": bandwidth}
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    print_series_table("Fig 4(a): IB latency", data["lat_sizes"],
+                       data["latency"], "us one-way", scale=1e6, fmt="8.2f")
+    print_series_table("Fig 4(b): IB bandwidth", data["bw_sizes"],
+                       data["bandwidth"], "MiB/s", fmt="8.0f")
+    print("\npaper reference:", PAPER)
+    return data
+
+
+if __name__ == "__main__":
+    main()

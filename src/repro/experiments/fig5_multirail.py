@@ -1,0 +1,62 @@
+"""Fig. 5 — heterogeneous multirail (Myri-10G + ConnectX IB).
+
+Paper reference: the split_balance strategy routes small messages on the
+fastest rail (latency equals the IB-only curve) and stripes large
+payloads across both rails by sampled bandwidth, aggregating to nearly
+the sum of the individual rails (~2250 MiB/s with equal halves when the
+rails perform equally).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.experiments.common import print_series_table
+from repro.workloads.netpipe import (
+    BANDWIDTH_SIZES,
+    LATENCY_SIZES,
+    run_netpipe,
+)
+
+PAPER = {
+    "small_message_rail": "ib (fastest)",
+    "aggregate_bandwidth_MiBs": 2250,
+}
+
+STACKS = [
+    ("MPICH2:Nmad:MX", ("mx",)),
+    ("MPICH2:Nmad:IB", ("ib",)),
+    ("MPICH2:Nmad:Multi-MX-IB", ("ib", "mx")),
+]
+
+
+def run(fast: bool = False) -> Dict:
+    cluster = config.xeon_pair()
+    lat_sizes = LATENCY_SIZES[:6] if fast else LATENCY_SIZES
+    bw_sizes = BANDWIDTH_SIZES[::2] if fast else BANDWIDTH_SIZES
+    reps = 3 if fast else 10
+
+    latency: Dict[str, list] = {}
+    bandwidth: Dict[str, list] = {}
+    for name, rails in STACKS:
+        spec = config.mpich2_nmad(rails=rails)
+        latency[name] = run_netpipe(spec, cluster, lat_sizes, reps=reps).latencies
+        bandwidth[name] = run_netpipe(spec, cluster, bw_sizes,
+                                      reps=max(3, reps // 2)).bandwidths
+    return {"lat_sizes": lat_sizes, "latency": latency,
+            "bw_sizes": bw_sizes, "bandwidth": bandwidth}
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    print_series_table("Fig 5(a): multirail latency", data["lat_sizes"],
+                       data["latency"], "us one-way", scale=1e6, fmt="8.2f")
+    print_series_table("Fig 5(b): multirail bandwidth", data["bw_sizes"],
+                       data["bandwidth"], "MiB/s", fmt="8.0f")
+    print("\npaper reference:", PAPER)
+    return data
+
+
+if __name__ == "__main__":
+    main()

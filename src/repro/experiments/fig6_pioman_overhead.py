@@ -1,0 +1,61 @@
+"""Fig. 6 — raw overhead of PIOMan's centralized progression.
+
+Paper reference: PIOMan adds ~450 ns to intra-node latency (thread-safe
+synchronization) and ~2 us on the network path (request lists and
+drivers must be protected from concurrent access); both overheads are
+constant in message size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import config
+from repro.experiments.common import print_series_table
+from repro.workloads.netpipe import LATENCY_SIZES, run_netpipe
+
+PAPER = {
+    "shm_overhead_us": 0.45,
+    "network_overhead_us": 2.0,
+}
+
+
+def run(fast: bool = False) -> Dict:
+    sizes = LATENCY_SIZES[:6] if fast else LATENCY_SIZES
+    reps = 3 if fast else 10
+    cluster = config.xeon_pair()
+
+    shm: Dict[str, list] = {}
+    for name, spec in [
+        ("MPICH2:Nemesis", config.mpich2_nmad()),
+        ("MPICH2:Nemesis:PIOMan", config.mpich2_nmad_pioman()),
+        ("Open MPI", config.openmpi_ib()),
+    ]:
+        res = run_netpipe(spec, cluster, sizes, reps=reps, intra_node=True)
+        shm[name] = res.latencies
+
+    mx: Dict[str, list] = {}
+    for name, spec in [
+        ("Open MPI:PML:MX", config.openmpi_pml_mx()),
+        ("Open MPI:BTL:MX", config.openmpi_btl_mx()),
+        ("MPICH2:Nem:Nmad:MX", config.mpich2_nmad(rails=("mx",))),
+        ("MPICH2:Nem:Nmad:PIOM:MX", config.mpich2_nmad_pioman(rails=("mx",))),
+    ]:
+        res = run_netpipe(spec, cluster, sizes, reps=reps)
+        mx[name] = res.latencies
+
+    return {"sizes": sizes, "shm": shm, "mx": mx}
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    print_series_table("Fig 6(a): latency over shared memory", data["sizes"],
+                       data["shm"], "us one-way", scale=1e6, fmt="8.2f")
+    print_series_table("Fig 6(b): latency over Myrinet MX", data["sizes"],
+                       data["mx"], "us one-way", scale=1e6, fmt="8.2f")
+    print("\npaper reference:", PAPER)
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Run every experiment and print every table/figure reproduction.
+
+::
+
+    python -m repro.experiments.run_all [--fast]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ext_is_datatypes,
+    ext_stencil_overlap,
+    fig4_infiniband,
+    fig5_multirail,
+    fig6_pioman_overhead,
+    fig7_overlap,
+    fig8_nas,
+)
+
+
+def main(fast: bool = False) -> None:
+    modules = [fig4_infiniband, fig5_multirail, fig6_pioman_overhead,
+               fig7_overlap, fig8_nas, ext_is_datatypes, ext_stencil_overlap]
+    for mod in modules:
+        t0 = time.time()
+        print("\n" + "=" * 72)
+        print(f"# {mod.__name__}")
+        print("=" * 72)
+        mod.main(fast=fast)
+        print(f"\n[{mod.__name__} done in {time.time()-t0:.1f}s wall]")
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

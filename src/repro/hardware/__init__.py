@@ -1,0 +1,29 @@
+"""Hardware models: NICs, rails/fabrics, memory registration, topology.
+
+The paper's evaluation hardware (ConnectX InfiniBand and Myri-10G MX
+NICs on dual-Xeon nodes; an Opteron cluster with one IB NIC per node)
+is modeled with LogGP-style cost parameters: per-message host overheads,
+NIC serialization bandwidth, wire latency, and a memory-registration
+model distinguishing on-the-fly registration (NewMadeleine) from a
+registration cache (MVAPICH2-like).
+"""
+
+from repro.hardware.params import NICParams, MemParams, NodeParams
+from repro.hardware.nic import NIC, Fabric, Frame
+from repro.hardware.memory import MemoryRegistrar
+from repro.hardware.topology import Node, Cluster, build_cluster
+from repro.hardware import presets
+
+__all__ = [
+    "NICParams",
+    "MemParams",
+    "NodeParams",
+    "NIC",
+    "Fabric",
+    "Frame",
+    "MemoryRegistrar",
+    "Node",
+    "Cluster",
+    "build_cluster",
+    "presets",
+]

@@ -1,0 +1,86 @@
+"""Hardware cost-parameter dataclasses.
+
+All times are seconds, sizes bytes, bandwidths bytes/second.  The
+parameterization is LogGP-flavoured:
+
+* ``post_overhead`` / ``recv_overhead`` — host CPU time to post a send
+  descriptor / consume a completion (the *o* of LogGP).
+* ``per_message_gap`` — NIC-side fixed occupancy per message (*g*).
+* ``bandwidth`` — serialization rate (1/*G*).
+* ``wire_latency`` — propagation plus switch traversal (*L*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NICParams:
+    """Cost model of one network interface (one rail endpoint)."""
+
+    name: str
+    #: host CPU time to post a send descriptor (s)
+    post_overhead: float
+    #: host CPU time to reap a receive completion (s)
+    recv_overhead: float
+    #: propagation + switch latency (s)
+    wire_latency: float
+    #: serialization bandwidth (B/s)
+    bandwidth: float
+    #: NIC occupancy per message independent of size (s)
+    per_message_gap: float
+    #: messages at or below this size avoid DMA setup (inline send)
+    max_inline: int = 128
+    #: extra NIC time for DMA-read transfers above max_inline (s)
+    dma_setup: float = 0.0
+
+    def injection_time(self, size: int) -> float:
+        """NIC occupancy to serialize a ``size``-byte frame."""
+        t = self.per_message_gap + size / self.bandwidth
+        if size > self.max_inline:
+            t += self.dma_setup
+        return t
+
+    def transfer_time(self, size: int) -> float:
+        """Injection plus wire time for a single frame (no host overheads)."""
+        return self.injection_time(size) + self.wire_latency
+
+
+@dataclass(frozen=True)
+class MemParams:
+    """Host memory-system cost model (copies, registration, polling)."""
+
+    #: large-copy bandwidth (memcpy through cache/memory), B/s
+    copy_bandwidth: float = 2.5e9
+    #: fixed cost per memcpy call (s)
+    copy_base: float = 30e-9
+    #: memory registration (pinning) base cost per region (s)
+    reg_base: float = 5e-6
+    #: registration cost per byte (page-table pinning), s/B
+    reg_per_byte: float = 2.5e-11
+    #: cost of a registration-cache hit (s)
+    reg_cache_hit: float = 0.2e-6
+    #: cost of one poll probe of a queue (s)
+    poll_cost: float = 30e-9
+
+    def copy_time(self, size: int) -> float:
+        """Time for one memcpy of ``size`` bytes."""
+        return self.copy_base + size / self.copy_bandwidth
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """Compute-node shape: cores and scheduler granularity."""
+
+    cores: int = 8
+    #: compute rate used by workload skeletons (flop/s per core)
+    flops_per_core: float = 4.0e9
+    #: OS scheduler timeslice — the granularity at which a fully loaded
+    #: node lets background threads run (timer-interrupt progression)
+    timeslice: float = 1e-3
+    #: OS-noise model: each compute phase is stretched by a uniform
+    #: factor in [1, 1 + compute_jitter] drawn from a per-node seeded
+    #: stream (0.0 = fully deterministic timing)
+    compute_jitter: float = 0.0
+    mem: MemParams = MemParams()

@@ -1,0 +1,91 @@
+"""Cluster topology: nodes, rails, and the builder used by the runtime."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.hardware.memory import MemoryRegistrar
+from repro.hardware.nic import NIC, Fabric
+from repro.hardware.params import NICParams, NodeParams
+from repro.simulator import Simulator
+
+
+class Node:
+    """A compute node: cores, memory model, one NIC per attached rail."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: NodeParams):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.nics: Dict[str, NIC] = {}
+        #: filled in by the runtime (threads.marcel.MarcelScheduler)
+        self.scheduler = None
+        #: filled in by the runtime when PIOMan is enabled
+        self.pioman = None
+
+    @property
+    def mem(self):
+        return self.params.mem
+
+    def attach(self, fabric: Fabric) -> NIC:
+        nic = fabric.attach(self.node_id)
+        self.nics[fabric.name] = nic
+        return nic
+
+    def make_registrar(self, cache: bool) -> MemoryRegistrar:
+        """A fresh registration-cost oracle for one process on this node."""
+        return MemoryRegistrar(self.params.mem, cache=cache)
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id}, rails={sorted(self.nics)})"
+
+
+class Cluster:
+    """A set of nodes joined by one or more rails (fabrics)."""
+
+    def __init__(self, sim: Simulator, nodes: List[Node], fabrics: Dict[str, Fabric]):
+        self.sim = sim
+        self.nodes = nodes
+        self.fabrics = fabrics
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    @property
+    def rail_names(self) -> List[str]:
+        return sorted(self.fabrics)
+
+
+def build_cluster(
+    sim: Simulator,
+    n_nodes: int,
+    node_params: NodeParams,
+    rails: Sequence[NICParams],
+) -> Cluster:
+    """Build ``n_nodes`` identical nodes, each attached to every rail.
+
+    Example
+    -------
+    >>> from repro.simulator import Simulator
+    >>> from repro.hardware import presets, build_cluster
+    >>> sim = Simulator()
+    >>> cluster = build_cluster(sim, 2, presets.XEON_NODE, [presets.IB_CONNECTX])
+    >>> len(cluster)
+    2
+    """
+    if n_nodes < 1:
+        raise ValueError("cluster needs at least one node")
+    names = [r.name for r in rails]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate rail names: {names}")
+    fabrics = {r.name: Fabric(sim, r) for r in rails}
+    nodes = []
+    for node_id in range(n_nodes):
+        node = Node(sim, node_id, node_params)
+        for fabric in fabrics.values():
+            node.attach(fabric)
+        nodes.append(node)
+    return Cluster(sim, nodes, fabrics)

@@ -1,0 +1,435 @@
+"""The Communicator: point-to-point API and compute phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mpi import collectives as _coll
+from repro.mpi.datatypes import CONTIGUOUS, Datatype
+from repro.mpich2.queues import ContextAnyTag
+from repro.mpich2.request import ANY_SOURCE, ANY_TAG, MPIRequest
+
+
+@dataclass
+class Message:
+    """What a receive returns."""
+
+    source: int
+    tag: Any
+    size: int
+    data: Any = None
+
+
+class Communicator:
+    """Per-rank handle binding a program to its simulated stack.
+
+    All communication methods are generators (``yield from`` them).
+    """
+
+    def __init__(self, runtime, rank: int, group: Optional[List[int]] = None,
+                 context: Any = ("world",)):
+        self._runtime = runtime
+        self._world_rank = rank
+        self.group = list(group) if group is not None else list(
+            range(runtime.nprocs))
+        self.context = context
+        self.rank = self.group.index(rank)
+        self.size = len(self.group)
+        self.stack = runtime.stacks[rank]
+        self.scheduler = runtime.scheduler_of(rank)
+        self.sim = runtime.sim
+        self._coll_seq = 0
+        self._split_seq = 0
+        # self-message matching (sends to one's own rank)
+        self._self_pending: List[Tuple[Any, int, Any]] = []
+        self._self_waiting: Dict[Any, List[MPIRequest]] = {}
+
+    def _world(self, rank: int) -> int:
+        """Translate a communicator-local rank to a world rank."""
+        return self.group[rank]
+
+    def _local(self, world_rank: int) -> int:
+        return self.group.index(world_rank)
+
+    def _wrap_tag(self, tag: Any):
+        """Isolate this communicator's traffic from every other's."""
+        if tag is ANY_TAG:
+            return ContextAnyTag(self.context)
+        return (self.context, tag)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, dst: int, tag: Any = 0, size: int = 0, data: Any = None,
+              datatype: Datatype = CONTIGUOUS, sync: bool = False):
+        """Nonblocking send; returns an :class:`MPIRequest`."""
+        self._check_rank(dst)
+        if dst == self.rank:
+            return self._self_send(tag, size, data)
+        pack = datatype.pack_cost(self.stack.node.mem, size)
+        if pack:
+            yield self.sim.timeout(pack)
+        req = yield from self.stack.isend(self._world(dst), self._wrap_tag(tag),
+                                          size, data, sync=sync)
+        return req
+
+    def issend(self, dst: int, tag: Any = 0, size: int = 0, data: Any = None,
+               datatype: Datatype = CONTIGUOUS):
+        """Nonblocking synchronous send (MPI_Issend): the request
+        completes only once the matching receive has started."""
+        req = yield from self.isend(dst, tag, size, data, datatype, sync=True)
+        return req
+
+    def ssend(self, dst: int, tag: Any = 0, size: int = 0, data: Any = None,
+              datatype: Datatype = CONTIGUOUS):
+        """Blocking synchronous send (MPI_Ssend)."""
+        req = yield from self.issend(dst, tag, size, data, datatype)
+        yield from self.wait(req)
+
+    def irecv(self, src: Any = ANY_SOURCE, tag: Any = 0,
+              datatype: Datatype = CONTIGUOUS):
+        """Nonblocking receive; returns an :class:`MPIRequest`."""
+        if src is not ANY_SOURCE:
+            self._check_rank(src)
+            if src == self.rank:
+                return self._self_recv(tag)
+            src = self._world(src)
+        req = yield from self.stack.irecv(src, self._wrap_tag(tag))
+        req.datatype = datatype
+        return req
+
+    def wait(self, req):
+        """Block until ``req`` completes; returns a :class:`Message`.
+
+        Accepts plain requests and active persistent handles.
+        """
+        if isinstance(req, PersistentRequest):
+            msg = yield from req.wait()
+            return msg
+        yield from self.stack.wait(req)
+        if req.kind == "recv" and req.datatype is not None:
+            # unpack into the strided user layout (size known post-match)
+            unpack = req.datatype.pack_cost(self.stack.node.mem, req.size)
+            if unpack:
+                yield self.sim.timeout(unpack)
+        source = (req.status_source if req.status_source is not None
+                  else (req.peer if req.kind == "recv" else
+                        self._world(self.rank)))
+        if isinstance(source, int) and source in self.group:
+            source = self._local(source)
+        tag = req.status_tag if req.status_tag is not None else req.tag
+        if (isinstance(tag, tuple) and len(tag) == 2
+                and tag[0] == self.context):
+            tag = tag[1]
+        return Message(source=source, tag=tag, size=req.size, data=req.data)
+
+    def waitall(self, reqs):
+        """Wait on every request; returns the list of messages."""
+        out = []
+        for req in list(reqs):
+            msg = yield from self.wait(req)
+            out.append(msg)
+        return out
+
+    def waitany(self, reqs):
+        """Block until one request completes; returns (index, Message)."""
+        index = yield from self.stack.waitany(list(reqs))
+        msg = yield from self.wait(reqs[index])
+        return index, msg
+
+    def wtime(self) -> float:
+        """MPI_Wtime: the simulated wall clock, in seconds."""
+        return self.sim.now
+
+    def send(self, dst: int, tag: Any = 0, size: int = 0, data: Any = None,
+             datatype: Datatype = CONTIGUOUS):
+        """Blocking send (complete when the buffer is reusable)."""
+        req = yield from self.isend(dst, tag, size, data, datatype)
+        yield from self.wait(req)
+
+    def recv(self, src: Any = ANY_SOURCE, tag: Any = 0,
+             datatype: Datatype = CONTIGUOUS):
+        """Blocking receive; returns the :class:`Message`."""
+        req = yield from self.irecv(src, tag, datatype)
+        msg = yield from self.wait(req)
+        return msg
+
+    def iprobe(self, src: Any = ANY_SOURCE, tag: Any = 0):
+        """Nonblocking probe: (source, size) of a matching pending
+        message, or None.  Does not consume the message."""
+        wsrc = src if src is ANY_SOURCE else self._world(src)
+        hit = yield from self.stack.iprobe(wsrc, self._wrap_tag(tag))
+        return self._localize_hit(hit)
+
+    def probe(self, src: Any = ANY_SOURCE, tag: Any = 0):
+        """Blocking probe: waits until a matching message is available
+        and returns (source, size) without consuming it."""
+        wsrc = src if src is ANY_SOURCE else self._world(src)
+        hit = yield from self.stack.probe(wsrc, self._wrap_tag(tag))
+        return self._localize_hit(hit)
+
+    def _localize_hit(self, hit):
+        if hit is None:
+            return None
+        source, size = hit
+        if isinstance(source, int) and source in self.group:
+            source = self._local(source)
+        return (source, size)
+
+    def sendrecv(self, dst: int, src: Any, tag: Any = 0, size: int = 0,
+                 data: Any = None, recv_tag: Any = None):
+        """Simultaneous send+receive (deadlock-free exchange)."""
+        rreq = yield from self.irecv(src, tag if recv_tag is None else recv_tag)
+        sreq = yield from self.isend(dst, tag, size, data)
+        yield from self.stack.wait(sreq)
+        msg = yield from self.wait(rreq)
+        return msg
+
+    # ------------------------------------------------------------------
+    # communicator management (split / dup)
+    # ------------------------------------------------------------------
+    def split(self, color: Any, key: Optional[int] = None):
+        """MPI_Comm_split: collective; returns the new communicator.
+
+        Ranks with equal ``color`` form a new communicator, ordered by
+        ``(key, old rank)``.  ``color=None`` returns None (the rank
+        opts out, like MPI_UNDEFINED).
+        """
+        self._split_seq += 1
+        ctx = (self.context, "split", self._split_seq)
+        key = self.rank if key is None else key
+        members = yield from self.allgather(32, value=(color, key, self.rank))
+        if color is None:
+            return None
+        mine = sorted(
+            ((k, r) for c, k, r in members if c == color),
+            key=lambda kr: kr)
+        group = [self._world(r) for _k, r in mine]
+        return Communicator(self._runtime, self._world_rank,
+                            group=group, context=(ctx, color))
+
+    def dup(self):
+        """MPI_Comm_dup: same group, isolated communication context."""
+        self._split_seq += 1
+        ctx = (self.context, "dup", self._split_seq)
+        yield from self.barrier()
+        return Communicator(self._runtime, self._world_rank,
+                            group=list(self.group), context=ctx)
+
+    # ------------------------------------------------------------------
+    # persistent requests (MPI_Send_init / Recv_init / Start)
+    # ------------------------------------------------------------------
+    def send_init(self, dst: int, tag: Any = 0, size: int = 0,
+                  data: Any = None, datatype: Datatype = CONTIGUOUS):
+        """Create a persistent send handle (MPI_Send_init)."""
+        return PersistentRequest(self, "send", dst, tag, size, data, datatype)
+
+    def recv_init(self, src: Any = ANY_SOURCE, tag: Any = 0,
+                  datatype: Datatype = CONTIGUOUS):
+        """Create a persistent receive handle (MPI_Recv_init)."""
+        return PersistentRequest(self, "recv", src, tag, 0, None, datatype)
+
+    def start(self, preq: "PersistentRequest"):
+        """Activate a persistent handle (MPI_Start)."""
+        yield from preq.start()
+
+    def startall(self, preqs):
+        """Activate several persistent handles (MPI_Startall)."""
+        for preq in preqs:
+            yield from preq.start()
+
+    # ------------------------------------------------------------------
+    # threads (MPI_THREAD_MULTIPLE extension — paper Section 3.3.2)
+    # ------------------------------------------------------------------
+    def spawn_thread(self, gen):
+        """Run ``gen`` as an additional application thread of this rank.
+
+        The thread competes for the node's cores like any Marcel thread.
+        The paper's Section 3.3.2 motivation applies: with PIOMan,
+        threads blocked in ``wait`` sit on semaphores and *release*
+        their core, so sibling threads can compute; without PIOMan every
+        waiting thread busy-polls and burns a core.
+
+        Returns a handle for :meth:`join`.
+        """
+        sched = self.scheduler
+
+        def body():
+            yield sched.acquire_core()
+            try:
+                result = yield from gen
+            finally:
+                sched.release_core()
+            return result
+
+        return self.sim.spawn(body(), name=f"rank{self.rank}-thread")
+
+    def join(self, thread):
+        """Block until a spawned thread finishes; returns its result.
+
+        With PIOMan the joining thread releases its core while blocked
+        (semaphore semantics); otherwise it busy-waits, holding it.
+        """
+        if not thread.triggered:
+            if self.stack.pioman is not None:
+                yield from self.stack.pioman.semaphore_wait(thread)
+            else:
+                yield thread
+        if not thread.ok:
+            raise thread.value
+        return thread.value
+
+    # ------------------------------------------------------------------
+    # compute phases
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float):
+        """Burn CPU for ``seconds`` (scaled by the stack's efficiency)."""
+        eff = self._runtime.compute_efficiency
+        yield from self.scheduler.compute(seconds / eff)
+
+    def compute_flops(self, flops: float):
+        """Burn the CPU time ``flops`` operations take on one core."""
+        yield from self.compute(self.scheduler.flops_time(flops))
+
+    # ------------------------------------------------------------------
+    # collectives (delegated to repro.mpi.collectives)
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self, name: str):
+        self._coll_seq += 1
+        return ("coll", self._coll_seq, name)
+
+    def barrier(self):
+        yield from _coll.barrier(self)
+
+    def bcast(self, size: int, data: Any = None, root: int = 0):
+        result = yield from _coll.bcast(self, size, data, root)
+        return result
+
+    def reduce(self, size: int, value: Any = None, root: int = 0, op=None):
+        result = yield from _coll.reduce(self, size, value, root, op)
+        return result
+
+    def allreduce(self, size: int, value: Any = None, op=None):
+        result = yield from _coll.allreduce(self, size, value, op)
+        return result
+
+    def gather(self, size: int, value: Any = None, root: int = 0):
+        result = yield from _coll.gather(self, size, value, root)
+        return result
+
+    def scatter(self, size: int, values: Optional[list] = None, root: int = 0):
+        result = yield from _coll.scatter(self, size, values, root)
+        return result
+
+    def allgather(self, size: int, value: Any = None):
+        result = yield from _coll.allgather(self, size, value)
+        return result
+
+    def alltoall(self, size: int, values: Optional[list] = None):
+        result = yield from _coll.alltoall(self, size, values)
+        return result
+
+    def scan(self, size: int, value: Any = None, op=None):
+        result = yield from _coll.scan(self, size, value, op)
+        return result
+
+    def exscan(self, size: int, value: Any = None, op=None):
+        result = yield from _coll.exscan(self, size, value, op)
+        return result
+
+    def reduce_scatter(self, size: int, values: Optional[list] = None, op=None):
+        result = yield from _coll.reduce_scatter(self, size, values, op)
+        return result
+
+    def gatherv(self, size: int, value: Any = None, root: int = 0):
+        result = yield from _coll.gatherv(self, size, value, root)
+        return result
+
+    def scatterv(self, sizes: Optional[list] = None,
+                 values: Optional[list] = None, root: int = 0):
+        result = yield from _coll.scatterv(self, sizes, values, root)
+        return result
+
+    def alltoallv(self, sizes: Optional[list] = None,
+                  values: Optional[list] = None):
+        result = yield from _coll.alltoallv(self, sizes, values)
+        return result
+
+    # ------------------------------------------------------------------
+    # self-messaging (rank -> same rank)
+    # ------------------------------------------------------------------
+    def _self_send(self, tag: Any, size: int, data: Any) -> MPIRequest:
+        req = MPIRequest(self.sim, "send", self.rank, tag, size, data)
+        waiting = self._self_waiting.get(tag)
+        if waiting:
+            rreq = waiting.pop(0)
+            rreq._finish(self.sim, data=data, size=size, source=self.rank, tag=tag)
+        else:
+            self._self_pending.append((tag, size, data))
+        req._finish(self.sim)
+        return req
+
+    def _self_recv(self, tag: Any) -> MPIRequest:
+        req = MPIRequest(self.sim, "recv", self.rank, tag)
+        for i, (t, size, data) in enumerate(self._self_pending):
+            if t == tag:
+                self._self_pending.pop(i)
+                req._finish(self.sim, data=data, size=size,
+                            source=self.rank, tag=tag)
+                return req
+        self._self_waiting.setdefault(tag, []).append(req)
+        return req
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+
+    def __repr__(self) -> str:
+        return f"Communicator(rank={self.rank}, size={self.size})"
+
+
+class PersistentRequest:
+    """A reusable communication handle (MPI_Send_init / MPI_Recv_init).
+
+    ``start()`` activates it (issuing the underlying nonblocking
+    operation); ``wait()`` (or ``comm.wait(handle)``) completes the
+    active operation and leaves the handle ready for the next start —
+    the classic iterative-application idiom (real NPB LU uses it).
+    """
+
+    def __init__(self, comm: Communicator, kind: str, peer: Any, tag: Any,
+                 size: int, data: Any, datatype: Datatype):
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad persistent request kind {kind!r}")
+        self.comm = comm
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.data = data
+        self.datatype = datatype
+        self.active: Any = None
+        self.starts = 0
+
+    def start(self):
+        """Generator: activate the handle (MPI_Start)."""
+        if self.active is not None and not self.active.complete:
+            raise RuntimeError("persistent request started while active")
+        self.starts += 1
+        if self.kind == "send":
+            self.active = yield from self.comm.isend(
+                self.peer, self.tag, self.size, self.data,
+                datatype=self.datatype)
+        else:
+            self.active = yield from self.comm.irecv(
+                self.peer, self.tag, datatype=self.datatype)
+
+    def wait(self):
+        """Generator: complete the active operation; handle stays usable."""
+        if self.active is None:
+            raise RuntimeError("persistent request waited before start")
+        msg = yield from self.comm.wait(self.active)
+        self.active = None
+        return msg

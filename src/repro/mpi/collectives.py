@@ -1,0 +1,302 @@
+"""Collective algorithms over point-to-point primitives.
+
+Classic MPICH-style algorithms:
+
+* barrier — dissemination (ceil(log2 p) rounds, any p);
+* bcast / reduce — binomial tree;
+* allreduce — recursive doubling (power-of-two), reduce+bcast otherwise;
+* gather / scatter — linear to/from root (sufficient at skeleton scale);
+* allgather — ring;
+* alltoall — pairwise exchange;
+* scan / exscan — linear chain (inclusive/exclusive prefix);
+* reduce_scatter — reduce-to-root then scatter.
+
+Every collective draws a fresh tag from the communicator's collective
+sequence, so overlapping collectives in one program cannot cross-match
+(MPI programs call collectives in the same order on every rank).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def _default_op(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return a if b is None else b
+    return a + b
+
+
+def barrier(comm):
+    """Dissemination barrier."""
+    tag = comm._next_coll_tag("barrier")
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return
+    k = 1
+    while k < p:
+        dst = (r + k) % p
+        src = (r - k) % p
+        yield from comm.sendrecv(dst, src, tag=(tag, k), size=1)
+        k *= 2
+
+
+def bcast(comm, size: int, data: Any = None, root: int = 0):
+    """Binomial-tree broadcast; returns the broadcast data."""
+    tag = comm._next_coll_tag("bcast")
+    p = comm.size
+    if p == 1:
+        return data
+    vr = (comm.rank - root) % p  # virtual rank with root at 0
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            src = (vr - mask + root) % p
+            msg = yield from comm.recv(src=src, tag=tag)
+            data = msg.data
+            break
+        mask *= 2
+    mask //= 2
+    while mask > 0:
+        if vr + mask < p:
+            dst = (vr + mask + root) % p
+            yield from comm.send(dst, tag=tag, size=size, data=data)
+        mask //= 2
+    return data
+
+
+def reduce(comm, size: int, value: Any = None, root: int = 0, op=None):
+    """Binomial-tree reduction; the root returns the combined value."""
+    tag = comm._next_coll_tag("reduce")
+    op = op or _default_op
+    p = comm.size
+    if p == 1:
+        return value
+    vr = (comm.rank - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            dst = (vr - mask + root) % p
+            yield from comm.send(dst, tag=(tag, mask), size=size, data=acc)
+            return None
+        partner = vr + mask
+        if partner < p:
+            src = (partner + root) % p
+            msg = yield from comm.recv(src=src, tag=(tag, mask))
+            acc = op(acc, msg.data)
+        mask *= 2
+    return acc
+
+
+def allreduce(comm, size: int, value: Any = None, op=None):
+    """Recursive doubling when p is a power of two, else reduce+bcast."""
+    tag = comm._next_coll_tag("allreduce")
+    op = op or _default_op
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return value
+    if p & (p - 1) == 0:
+        acc = value
+        mask = 1
+        while mask < p:
+            partner = r ^ mask
+            msg = yield from comm.sendrecv(partner, partner, tag=(tag, mask),
+                                           size=size, data=acc)
+            acc = op(acc, msg.data)
+            mask *= 2
+        return acc
+    acc = yield from reduce(comm, size, value, root=0, op=op)
+    acc = yield from bcast(comm, size, acc, root=0)
+    return acc
+
+
+def gather(comm, size: int, value: Any = None, root: int = 0):
+    """Linear gather; the root returns the list indexed by rank."""
+    tag = comm._next_coll_tag("gather")
+    if comm.size == 1:
+        return [value]
+    if comm.rank == root:
+        out: list = [None] * comm.size
+        out[root] = value
+        reqs = []
+        for src in range(comm.size):
+            if src == root:
+                continue
+            req = yield from comm.irecv(src=src, tag=(tag, src))
+            reqs.append((src, req))
+        for src, req in reqs:
+            msg = yield from comm.wait(req)
+            out[src] = msg.data
+        return out
+    yield from comm.send(root, tag=(tag, comm.rank), size=size, data=value)
+    return None
+
+
+def scatter(comm, size: int, values: Optional[list] = None, root: int = 0):
+    """Linear scatter; every rank returns its element."""
+    tag = comm._next_coll_tag("scatter")
+    if comm.size == 1:
+        return values[0] if values else None
+    if comm.rank == root:
+        reqs = []
+        for dst in range(comm.size):
+            if dst == root:
+                continue
+            data = values[dst] if values else None
+            req = yield from comm.isend(dst, tag=(tag, dst), size=size, data=data)
+            reqs.append(req)
+        for req in reqs:
+            yield from comm.wait(req)
+        return values[root] if values else None
+    msg = yield from comm.recv(src=root, tag=(tag, comm.rank))
+    return msg.data
+
+
+def allgather(comm, size: int, value: Any = None):
+    """Ring allgather; returns the list indexed by rank."""
+    tag = comm._next_coll_tag("allgather")
+    p, r = comm.size, comm.rank
+    out: list = [None] * p
+    out[r] = value
+    if p == 1:
+        return out
+    right, left = (r + 1) % p, (r - 1) % p
+    block = r
+    for step in range(p - 1):
+        msg = yield from comm.sendrecv(right, left, tag=(tag, step),
+                                       size=size, data=(block, out[block]))
+        block, data = msg.data
+        out[block] = data
+    return out
+
+
+def alltoall(comm, size: int, values: Optional[list] = None):
+    """Pairwise-exchange all-to-all; returns the list indexed by source.
+
+    ``size`` is the per-pair message size (each rank sends ``size``
+    bytes to every other rank).
+    """
+    tag = comm._next_coll_tag("alltoall")
+    p, r = comm.size, comm.rank
+    out: list = [None] * p
+    out[r] = values[r] if values else None
+    for step in range(1, p):
+        dst = (r + step) % p
+        src = (r - step) % p
+        data = values[dst] if values else None
+        msg = yield from comm.sendrecv(dst, src, tag=(tag, step),
+                                       size=size, data=data)
+        out[src] = msg.data
+    return out
+
+
+def scan(comm, size: int, value: Any = None, op=None):
+    """Inclusive prefix reduction: rank r returns op(v_0, ..., v_r)."""
+    tag = comm._next_coll_tag("scan")
+    op = op or _default_op
+    acc = value
+    if comm.rank > 0:
+        msg = yield from comm.recv(src=comm.rank - 1, tag=tag)
+        acc = op(msg.data, value)
+    if comm.rank < comm.size - 1:
+        yield from comm.send(comm.rank + 1, tag=tag, size=size, data=acc)
+    return acc
+
+
+def exscan(comm, size: int, value: Any = None, op=None):
+    """Exclusive prefix reduction: rank r returns op(v_0, ..., v_{r-1}).
+
+    Rank 0 returns None (undefined in MPI; None here).
+    """
+    tag = comm._next_coll_tag("exscan")
+    op = op or _default_op
+    prefix = None
+    if comm.rank > 0:
+        msg = yield from comm.recv(src=comm.rank - 1, tag=tag)
+        prefix = msg.data
+    if comm.rank < comm.size - 1:
+        carry = value if prefix is None else op(prefix, value)
+        yield from comm.send(comm.rank + 1, tag=tag, size=size, data=carry)
+    return prefix
+
+
+def reduce_scatter(comm, size: int, values: Optional[list] = None, op=None):
+    """Element-wise reduce of per-rank vectors, block-scattered back.
+
+    ``values`` is a list of ``comm.size`` contributions (one destined to
+    each rank); rank r returns the combination of everyone's r-th entry.
+    """
+    op = op or _default_op
+    combined = yield from reduce(
+        comm, size * comm.size,
+        value=list(values) if values is not None else None,
+        root=0,
+        op=lambda a, b: (None if a is None and b is None
+                         else [op(x, y) for x, y in zip(a, b)]
+                         if a is not None and b is not None
+                         else (a if b is None else b)))
+    out = yield from scatter(comm, size, values=combined, root=0)
+    return out
+
+
+def gatherv(comm, size: int, value: Any = None, root: int = 0):
+    """Variable-size gather: each rank contributes ``size`` bytes of its
+    own choosing; the root returns ``[(size, value), ...]`` by rank."""
+    tag = comm._next_coll_tag("gatherv")
+    if comm.size == 1:
+        return [(size, value)]
+    if comm.rank == root:
+        out: list = [None] * comm.size
+        out[root] = (size, value)
+        for src in range(comm.size):
+            if src == root:
+                continue
+            msg = yield from comm.recv(src=src, tag=(tag, src))
+            out[src] = (msg.size, msg.data)
+        return out
+    yield from comm.send(root, tag=(tag, comm.rank), size=size, data=value)
+    return None
+
+
+def scatterv(comm, sizes: Optional[list] = None,
+             values: Optional[list] = None, root: int = 0):
+    """Variable-size scatter: the root ships ``sizes[d]`` bytes to each
+    destination; every rank returns its element."""
+    tag = comm._next_coll_tag("scatterv")
+    if comm.size == 1:
+        return values[0] if values else None
+    if comm.rank == root:
+        reqs = []
+        for dst in range(comm.size):
+            if dst == root:
+                continue
+            size = sizes[dst] if sizes else 0
+            data = values[dst] if values else None
+            req = yield from comm.isend(dst, tag=(tag, dst), size=size,
+                                        data=data)
+            reqs.append(req)
+        for req in reqs:
+            yield from comm.wait(req)
+        return values[root] if values else None
+    msg = yield from comm.recv(src=root, tag=(tag, comm.rank))
+    return msg.data
+
+
+def alltoallv(comm, sizes: Optional[list] = None,
+              values: Optional[list] = None):
+    """Variable-size all-to-all: rank r sends ``sizes[d]`` bytes to each
+    destination d; returns the received list indexed by source."""
+    tag = comm._next_coll_tag("alltoallv")
+    p, r = comm.size, comm.rank
+    out: list = [None] * p
+    out[r] = values[r] if values else None
+    for step in range(1, p):
+        dst = (r + step) % p
+        src = (r - step) % p
+        size = sizes[dst] if sizes else 0
+        data = values[dst] if values else None
+        msg = yield from comm.sendrecv(dst, src, tag=(tag, step),
+                                       size=size, data=data)
+        out[src] = msg.data
+    return out

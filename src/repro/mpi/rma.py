@@ -1,0 +1,234 @@
+"""MPI-2 one-sided communication (RMA) — a paper future-work extension.
+
+The paper's conclusion names efficient MPI-2 RMA support "without
+compromising the optimizations implemented" as an open challenge.  This
+module provides fence-synchronized active-target RMA (``MPI_Win_fence``
+epochs with ``put``/``get``/``accumulate``) layered on the same
+transport as point-to-point — so every NewMadeleine optimization
+(aggregation of small puts, multirail striping of large ones,
+PIOMan-driven progress) applies to one-sided traffic unchanged.
+
+Window memory is modeled as a slot array: ``put`` writes a slot on the
+target, ``get`` reads one, ``accumulate`` combines into one.  Slot
+payloads are opaque Python objects; the ``size`` argument drives the
+timing, exactly as for point-to-point messages.
+
+Synchronization protocol (per fence):
+
+1. every rank tells every other how many puts/accumulates and gets it
+   issued toward it during the epoch (an all-to-all of tiny counts);
+2. incoming puts/accumulates are received and applied; incoming get
+   requests are answered with the slot contents;
+3. a barrier closes the epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: wire size of a get request / RMA header
+_CTRL = 32
+
+
+@dataclass
+class _PendingGet:
+    handle: "GetHandle"
+    target: int
+    slot: int
+    size: int
+
+
+@dataclass
+class GetHandle:
+    """Result slot of a ``get``; populated when the epoch closes."""
+
+    value: Any = None
+    complete: bool = False
+
+
+@dataclass
+class _EpochState:
+    puts: Dict[int, List[Tuple[int, int, Any, Optional[Callable]]]] = \
+        field(default_factory=dict)     # target -> [(slot, size, data, op)]
+    gets: Dict[int, List[_PendingGet]] = field(default_factory=dict)
+    send_reqs: list = field(default_factory=list)
+
+
+class Window:
+    """A fence-synchronized RMA window (one instance per rank).
+
+    Example
+    -------
+    ::
+
+        win = Window(comm, nslots=4, init=0)
+        yield from win.fence()                  # open epoch
+        if comm.rank == 0:
+            yield from win.put(1, slot=2, size=1024, data="remote write")
+        yield from win.fence()                  # close epoch
+        # rank 1 now sees win.read(2) == "remote write"
+    """
+
+    def __init__(self, comm, nslots: int, init: Any = None):
+        if nslots < 1:
+            raise ValueError("window needs at least one slot")
+        self.comm = comm
+        # window ids are per-communicator: creation is collective, so the
+        # same ordinal names the same window on every rank
+        self.win_id = getattr(comm, "_rma_win_ctr", 0)
+        comm._rma_win_ctr = self.win_id + 1
+        self.nslots = nslots
+        self._slots: List[Any] = [init] * nslots
+        self._epoch = _EpochState()
+        self._epoch_open = False
+        self._fence_ctr = 0
+
+    # ------------------------------------------------------------------
+    # local access
+    # ------------------------------------------------------------------
+    def read(self, slot: int) -> Any:
+        """Local load from the window (valid outside an access epoch)."""
+        return self._slots[slot]
+
+    def write(self, slot: int, value: Any) -> None:
+        """Local store to the window (valid outside an exposure epoch)."""
+        self._slots[slot] = value
+
+    # ------------------------------------------------------------------
+    # one-sided operations (inside an epoch)
+    # ------------------------------------------------------------------
+    def put(self, target: int, slot: int, size: int, data: Any = None):
+        """Write ``data`` into ``slot`` of ``target``'s window."""
+        yield from self._origin_op(target, slot, size, data, op=None)
+
+    def accumulate(self, target: int, slot: int, size: int, data: Any,
+                   op: Callable[[Any, Any], Any]):
+        """Combine ``data`` into the target slot with ``op`` (e.g. add)."""
+        if op is None:
+            raise ValueError("accumulate needs a combining op")
+        yield from self._origin_op(target, slot, size, data, op=op)
+
+    def _origin_op(self, target: int, slot: int, size: int, data: Any, op):
+        self._check_epoch()
+        self._check_target(target, slot)
+        if target == self.comm.rank:
+            self._apply(slot, data, op)
+            return
+        ops = self._epoch.puts.setdefault(target, [])
+        seq = len(ops)
+        ops.append((slot, size, data, op))
+        # data moves immediately (may overlap the rest of the epoch);
+        # completion is only guaranteed at the closing fence
+        req = yield from self.comm.isend(
+            target, tag=("rma-put", self.win_id, self._fence_ctr,
+                         self.comm.rank, seq),
+            size=size + _CTRL, data=(slot, data, op))
+        self._epoch.send_reqs.append(req)
+
+    def get(self, target: int, slot: int, size: int) -> GetHandle:
+        """Read ``slot`` of ``target``; the handle fills at the fence.
+
+        Not a generator: the request is recorded and serviced during
+        the closing fence (get is inherently two-sided underneath).
+        """
+        self._check_epoch()
+        self._check_target(target, slot)
+        handle = GetHandle()
+        if target == self.comm.rank:
+            handle.value = self._slots[slot]
+            handle.complete = True
+            return handle
+        self._epoch.gets.setdefault(target, []).append(
+            _PendingGet(handle, target, slot, size))
+        return handle
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def fence(self):
+        """Open the first epoch / close the current one (collective)."""
+        if not self._epoch_open:
+            self._epoch_open = True
+            yield from self.comm.barrier()
+            return
+        yield from self._close_epoch()
+        self._fence_ctr += 1
+        self._epoch = _EpochState()
+
+    def _close_epoch(self):
+        comm, fc = self.comm, self._fence_ctr
+        p = comm.size
+        # 1. exchange (puts, gets) counts with everyone
+        counts = [(len(self._epoch.puts.get(t, [])),
+                   len(self._epoch.gets.get(t, []))) for t in range(p)]
+        incoming = yield from comm.alltoall(size=8, values=counts)
+
+        # 2a. post receives for incoming puts
+        put_reqs = []
+        for src in range(p):
+            n_puts = incoming[src][0] if incoming[src] else 0
+            for seq in range(n_puts):
+                req = yield from comm.irecv(
+                    src=src, tag=("rma-put", self.win_id, fc, src, seq))
+                put_reqs.append(req)
+
+        # 2b. send my get requests
+        for target, gets in self._epoch.gets.items():
+            for seq, pg in enumerate(gets):
+                yield from comm.send(
+                    target, tag=("rma-getreq", self.win_id, fc,
+                                 comm.rank, seq),
+                    size=_CTRL, data=(pg.slot, pg.size))
+
+        # 2c. apply incoming puts
+        for req in put_reqs:
+            msg = yield from comm.wait(req)
+            slot, data, op = msg.data
+            self._apply(slot, data, op)
+
+        # 2d. answer incoming get requests
+        reply_reqs = []
+        for src in range(p):
+            n_gets = incoming[src][1] if incoming[src] else 0
+            for seq in range(n_gets):
+                msg = yield from comm.recv(
+                    src=src, tag=("rma-getreq", self.win_id, fc, src, seq))
+                slot, size = msg.data
+                req = yield from comm.isend(
+                    src, tag=("rma-getrep", self.win_id, fc, seq),
+                    size=size + _CTRL, data=self._slots[slot])
+                reply_reqs.append(req)
+
+        # 2e. collect my get replies
+        for target, gets in self._epoch.gets.items():
+            for seq, pg in enumerate(gets):
+                msg = yield from comm.recv(
+                    src=target, tag=("rma-getrep", self.win_id, fc, seq))
+                pg.handle.value = msg.data
+                pg.handle.complete = True
+
+        # local put sends must have completed by the end of the epoch
+        yield from comm.waitall(self._epoch.send_reqs)
+        for req in reply_reqs:
+            yield from comm.wait(req)
+
+        # 3. close the epoch
+        yield from comm.barrier()
+
+    # ------------------------------------------------------------------
+    def _apply(self, slot: int, data: Any, op) -> None:
+        if op is None:
+            self._slots[slot] = data
+        else:
+            self._slots[slot] = op(self._slots[slot], data)
+
+    def _check_epoch(self) -> None:
+        if not self._epoch_open:
+            raise RuntimeError("RMA operation outside a fence epoch")
+
+    def _check_target(self, target: int, slot: int) -> None:
+        if not (0 <= target < self.comm.size):
+            raise ValueError(f"target rank {target} out of range")
+        if not (0 <= slot < self.nslots):
+            raise ValueError(f"slot {slot} out of range for {self.nslots}")

@@ -1,0 +1,37 @@
+"""The MPICH2 software stack model (ADI3 / CH3 / Nemesis layers).
+
+Two inter-node paths exist, mirroring the paper:
+
+* the **netmod** path (Section 2.1.3): every CH3 message crosses the
+  Nemesis queue-cell machinery (extra copies) and large messages suffer
+  *nested* handshakes — CH3's RTS/CTS around NewMadeleine's own
+  rendezvous (Fig. 2);
+* the **CH3-direct** path (Section 3.1): CH3 calls NewMadeleine
+  directly through per-destination function-pointer overrides in the
+  virtual connection, NewMadeleine does the tag matching, and
+  ANY_SOURCE is handled with the request-list system of Fig. 3.
+
+Intra-node communication always uses the Nemesis shared-memory queues.
+"""
+
+from repro.mpich2.request import MPIRequest, ANY_SOURCE, ANY_TAG
+from repro.mpich2.queues import PostedQueue, UnexpectedQueue, Envelope
+from repro.mpich2.stackbase import BaseStack, StackCosts
+from repro.mpich2.ch3 import CH3Stack, CH3Costs
+from repro.mpich2.anysource import AnySourceBook
+from repro.mpich2.vc import VirtualConnection
+
+__all__ = [
+    "MPIRequest",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PostedQueue",
+    "UnexpectedQueue",
+    "Envelope",
+    "BaseStack",
+    "StackCosts",
+    "CH3Stack",
+    "CH3Costs",
+    "AnySourceBook",
+    "VirtualConnection",
+]

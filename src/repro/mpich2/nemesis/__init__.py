@@ -1,0 +1,10 @@
+"""The Nemesis communication channel (paper Section 2.1.1).
+
+Nemesis provides lock-free shared-memory queues of fixed-size cells for
+intra-node communication; network traffic goes through network modules
+(or, in the CH3-direct configuration, bypasses the channel entirely).
+"""
+
+from repro.mpich2.nemesis.shm import NemesisShm, ShmCosts, ShmMessage
+
+__all__ = ["NemesisShm", "ShmCosts", "ShmMessage"]

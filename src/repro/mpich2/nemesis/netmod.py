@@ -1,0 +1,103 @@
+"""The Nemesis network-module interface (paper Section 2.1.2).
+
+"A network module implements a relatively small set of routines ...
+Basically the four following routines are required to implement a
+module: net_module_init, net_module_send, net_module_poll and
+net_module_finalize.  There is no net_module_recv routine since the
+net_module_poll routine is called by the low-level progress engine in
+Nemesis and is actually responsible to retrieve all incoming messages
+from the network."
+
+:class:`NewmadNetmod` is the NewMadeleine module: CH3 packets ride a
+single shared NewMadeleine tag (no per-MPI-message tag matching — that
+is exactly the limitation of Section 2.1.3 that motivates the
+CH3-direct bypass).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.nmad.core import NmadCore
+
+#: the nmad tag carrying every CH3 packet of the netmod path
+CH3_CHANNEL_TAG = "ch3"
+
+
+class NetworkModule:
+    """The four-routine Nemesis module interface."""
+
+    def net_module_init(self) -> None:
+        """Bring the module up (connection establishment)."""
+
+    def net_module_send(self, dst_rank: int, size: int, payload: Any):
+        """Generator: ship one CH3 packet; returns the transport request."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def net_module_poll(self, frame: Any):
+        """Generator: retrieve incoming messages from the network.
+
+        Called by the progress engine for each arrived frame; completed
+        CH3 packets are handed to ``on_packet`` (set by the channel).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def net_module_finalize(self) -> dict:
+        """Tear the module down; returns transfer statistics."""
+        return {}
+
+
+class NewmadNetmod(NetworkModule):
+    """NewMadeleine as a plain Nemesis network module.
+
+    ``on_packet(nm_request)`` is invoked (synchronously, in progress
+    context) for each fully received CH3 packet; packets whose payload
+    is still in flight (NewMadeleine's internal rendezvous) are handed
+    to ``on_deferred_packet`` when they complete — the nesting of
+    Fig. 2 in action.
+    """
+
+    def __init__(self, core: NmadCore):
+        self.core = core
+        self.on_packet: Optional[Callable] = None
+        self.on_deferred_packet: Optional[Callable] = None
+        self.packets_sent = 0
+        self.packets_received = 0
+        self._initialized = False
+
+    def net_module_init(self) -> None:
+        self._initialized = True
+
+    def net_module_send(self, dst_rank: int, size: int, payload: Any):
+        if not self._initialized:
+            raise RuntimeError("network module used before net_module_init")
+        self.packets_sent += 1
+        nm = yield from self.core.isend(dst_rank, CH3_CHANNEL_TAG, size, payload)
+        return nm
+
+    def net_module_poll(self, frame: Any):
+        if not self._initialized:
+            raise RuntimeError("network module used before net_module_init")
+        yield from self.core.handle_pw(frame.payload, frame.rail)
+        # drain every CH3 packet NewMadeleine has buffered
+        while True:
+            hit = self.core.probe(CH3_CHANNEL_TAG)
+            if hit is None:
+                return
+            src, _size = hit
+            nm = yield from self.core.irecv(src, CH3_CHANNEL_TAG)
+            if nm.complete:
+                self.packets_received += 1
+                yield from self.on_packet(nm)
+            else:
+                nm.on_complete = self._deferred
+
+    def _deferred(self, nm) -> None:
+        self.packets_received += 1
+        self.on_deferred_packet(nm)
+
+    def net_module_finalize(self) -> dict:
+        self._initialized = False
+        return {"sent": self.packets_sent, "received": self.packets_received}

@@ -1,0 +1,80 @@
+"""Nemesis lock-free cell queues (paper Section 2.1.1).
+
+"The Nemesis channel uses shared-memory message queues of fixed-size
+message cells ...  Each process owns one free queue and one receive
+queue.  The free queue holds free cells which the process dequeues and
+fills with a message (or message fragment when the message is larger
+than a single cell)."
+
+The model keeps what is observable: a finite per-process cell pool.  A
+sender dequeues cells from **its own** free queue, fills them, and
+enqueues them on the receiver's receive queue; when the receiver has
+copied a message out, the cells return to their owner's free queue.
+Running out of cells *blocks the sender* — the flow-control/backpressure
+behaviour of the real channel.
+
+Streaming reuse within one very large message (the real channel
+recycles cells as the receiver drains them mid-message) is abstracted
+by capping a single message's footprint at half the pool; see
+:meth:`CellPool.cells_needed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.simulator import Semaphore, Simulator
+
+
+@dataclass
+class CellAllocation:
+    """Cells held by one in-flight message (returned on receive)."""
+
+    pool: "CellPool"
+    count: int
+    released: bool = False
+
+    def release(self) -> None:
+        """Return the cells to the owner's free queue.  Idempotent."""
+        if not self.released:
+            self.released = True
+            self.pool._free.release(self.count)
+
+
+class CellPool:
+    """One process's free queue of fixed-size cells."""
+
+    def __init__(self, sim: Simulator, n_cells: int = 64,
+                 cell_size: int = 64 * 1024):
+        if n_cells < 2:
+            raise ValueError("cell pool needs at least 2 cells")
+        if cell_size < 1:
+            raise ValueError("cell size must be positive")
+        self.sim = sim
+        self.n_cells = n_cells
+        self.cell_size = cell_size
+        self._free = Semaphore(sim, value=n_cells)
+        self.exhaustion_stalls = 0
+
+    @property
+    def free_cells(self) -> int:
+        return self._free.value
+
+    def cells_needed(self, size: int) -> int:
+        """Cells one message occupies at once (streaming cap at pool/2)."""
+        import math
+        raw = max(1, math.ceil(size / self.cell_size))
+        return min(raw, self.n_cells // 2)
+
+    def acquire(self, size: int):
+        """Generator: dequeue cells for a message, blocking if exhausted.
+
+        Returns a :class:`CellAllocation` to release at the receiver.
+        """
+        count = self.cells_needed(size)
+        for _ in range(count):
+            if not self._free.try_acquire():
+                self.exhaustion_stalls += 1
+                yield self._free.acquire()
+        return CellAllocation(self, count)

@@ -1,0 +1,27 @@
+"""Virtual connections: per-destination send-path dispatch.
+
+Paper Section 3.1.2: "function pointers were added to MPICH2's
+per-connection virtual connection (VC) structure to allow the various
+CH3 send functions to be overridden on a per-destination basis" — a
+send to a process on the same node goes through Nemesis shared memory,
+a send to a remote node calls NewMadeleine directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class VirtualConnection:
+    """Connection state for one peer rank."""
+
+    def __init__(self, peer_rank: int, peer_node: int, local_node: int):
+        self.peer_rank = peer_rank
+        self.peer_node = peer_node
+        self.is_local = peer_node == local_node
+        #: overridable send entry point; signature (tag, size, data) -> generator
+        self.send_fn: Callable[..., Any] = None
+
+    def __repr__(self) -> str:
+        where = "local" if self.is_local else f"node{self.peer_node}"
+        return f"VC(peer={self.peer_rank}, {where})"

@@ -1,0 +1,48 @@
+"""NewMadeleine: the communication scheduling engine (paper Section 2.2).
+
+NewMadeleine decouples request submission from network submission: when
+a NIC is busy, outgoing requests accumulate in the *strategy*, which may
+reorder, aggregate, or split them when the NIC becomes idle.  It
+performs its own tag matching, implements eager and rendezvous
+protocols internally, and natively drives several (possibly
+heterogeneous) rails at once.
+
+Public surface:
+
+* :class:`~repro.nmad.core.NmadCore` — one instance per MPI process.
+* :class:`~repro.nmad.request.NmadRequest` — opaque request objects
+  (no cancellation, exactly like the real library).
+* :mod:`~repro.nmad.strategies` — default / aggregation / split_balance.
+* :mod:`~repro.nmad.drivers` — rail drivers with submission windows.
+* :class:`~repro.nmad.interface.SendRecvInterface` — the ``nm_sr_*``
+  flavoured thin API used by tests and the raw-library example.
+"""
+
+from repro.nmad.core import NmadCore, NmadCosts
+from repro.nmad.request import NmadRequest
+from repro.nmad.packet import PacketWrapper, EagerEntry, RtsEntry, CtsEntry, DataEntry
+from repro.nmad.drivers import NmadDriver
+from repro.nmad.strategies import (
+    AggregStrategy,
+    DefaultStrategy,
+    SplitBalanceStrategy,
+    make_strategy,
+)
+from repro.nmad.interface import SendRecvInterface
+
+__all__ = [
+    "NmadCore",
+    "NmadCosts",
+    "NmadRequest",
+    "PacketWrapper",
+    "EagerEntry",
+    "RtsEntry",
+    "CtsEntry",
+    "DataEntry",
+    "NmadDriver",
+    "DefaultStrategy",
+    "AggregStrategy",
+    "SplitBalanceStrategy",
+    "make_strategy",
+    "SendRecvInterface",
+]

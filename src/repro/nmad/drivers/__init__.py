@@ -1,0 +1,13 @@
+"""Rail drivers: the glue between NewMadeleine's core and a NIC.
+
+A driver owns a *submission window*: at most ``window`` packet wrappers
+may be in flight on its NIC at once.  Keeping the window small is what
+lets requests accumulate in the strategy while the NIC is busy — the
+precondition for aggregation and reordering (paper Section 2.2).
+"""
+
+from repro.nmad.drivers.base import NmadDriver
+from repro.nmad.drivers.ib import make_ib_driver
+from repro.nmad.drivers.mx import make_mx_driver
+
+__all__ = ["NmadDriver", "make_ib_driver", "make_mx_driver"]

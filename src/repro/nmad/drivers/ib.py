@@ -1,0 +1,15 @@
+"""InfiniBand (Verbs) driver flavour.
+
+Rendezvous payloads move by RDMA write: the receiving CPU pays no
+per-chunk cost, only the final completion.  Memory must be registered
+on both sides — NewMadeleine registers on the fly, without a cache
+(paper Section 4.1.1).
+"""
+
+from repro.hardware.nic import NIC
+from repro.nmad.drivers.base import NmadDriver
+
+
+def make_ib_driver(nic: NIC, window: int = 2) -> NmadDriver:
+    """Driver for a ConnectX-style Verbs NIC."""
+    return NmadDriver(nic, window=window, rdma=True)

@@ -1,0 +1,15 @@
+"""Myrinet MX driver flavour.
+
+MX is a two-sided message-passing interface: rendezvous chunks are
+consumed by the host (per-chunk receive cost), and there is no RDMA
+path.  Registration is handled by the MX kernel module and folded into
+the NIC's DMA-setup constant.
+"""
+
+from repro.hardware.nic import NIC
+from repro.nmad.drivers.base import NmadDriver
+
+
+def make_mx_driver(nic: NIC, window: int = 2) -> NmadDriver:
+    """Driver for a Myri-10G MX NIC."""
+    return NmadDriver(nic, window=window, rdma=False)

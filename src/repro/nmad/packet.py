@@ -1,0 +1,105 @@
+"""Packet wrappers: what NewMadeleine actually puts on the wire.
+
+A packet wrapper (*pw*) is the unit of NIC submission.  The strategy
+builds one from pending send items when a driver has window space.  A
+pw carries one or more *entries*; aggregation is precisely the act of
+packing several eager entries for the same destination into one pw.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Union
+
+_pw_ids = itertools.count()
+_rdv_ids = itertools.count()
+
+
+def next_rdv_id() -> int:
+    """Allocate a cluster-unique rendezvous identifier."""
+    return next(_rdv_ids)
+
+
+@dataclass
+class EagerEntry:
+    """Message data travelling inline with its envelope."""
+
+    src_rank: int
+    dst_rank: int
+    tag: Any
+    seq: int
+    size: int
+    data: Any = None
+    #: sender-side request to complete at local injection (not wire data)
+    req: Any = None
+
+
+@dataclass
+class RtsEntry:
+    """Rendezvous request-to-send: envelope only, data waits at sender."""
+
+    src_rank: int
+    dst_rank: int
+    tag: Any
+    seq: int
+    size: int
+    rdv_id: int = 0
+
+
+@dataclass
+class CtsEntry:
+    """Clear-to-send: the receiver granted the rendezvous."""
+
+    src_rank: int
+    dst_rank: int
+    rdv_id: int = 0
+
+
+@dataclass
+class DataEntry:
+    """One zero-copy chunk of rendezvous payload."""
+
+    src_rank: int
+    dst_rank: int
+    rdv_id: int
+    size: int
+    data: Any = None
+
+
+Entry = Union[EagerEntry, RtsEntry, CtsEntry, DataEntry]
+
+#: wire bytes of one entry header (envelope: tag, seq, sizes)
+HEADER_SIZE = 32
+#: wire bytes of control-only entries
+CONTROL_SIZE = 32
+
+
+def entry_wire_size(entry: Entry) -> int:
+    """Bytes an entry occupies on the wire."""
+    if isinstance(entry, EagerEntry):
+        return HEADER_SIZE + entry.size
+    if isinstance(entry, DataEntry):
+        return HEADER_SIZE + entry.size
+    return CONTROL_SIZE
+
+
+@dataclass
+class PacketWrapper:
+    """A NIC submission unit holding one or more entries."""
+
+    dst_node: int
+    src_node: int
+    entries: List[Entry] = field(default_factory=list)
+    pw_id: int = field(default_factory=lambda: next(_pw_ids))
+
+    @property
+    def wire_size(self) -> int:
+        return sum(entry_wire_size(e) for e in self.entries)
+
+    @property
+    def dst_ranks(self) -> List[int]:
+        return [e.dst_rank for e in self.entries]
+
+    def append(self, entry: Entry) -> None:
+        self.entries.append(entry)

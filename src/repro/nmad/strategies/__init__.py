@@ -1,0 +1,44 @@
+"""Packet-scheduling strategies (the heart of the paper's contribution).
+
+When all rails are busy, outgoing send items queue up here; when a rail
+frees window space, the strategy decides what to put on the wire:
+
+* :class:`DefaultStrategy` — FIFO, one item per packet wrapper.
+* :class:`AggregStrategy` — coalesces consecutive small sends to the
+  same destination into a single packet wrapper.
+* :class:`SplitBalanceStrategy` — multirail: small messages ride the
+  fastest rail; large rendezvous payloads are striped across all rails
+  proportionally to their sampled bandwidth (paper [4]).
+"""
+
+from repro.nmad.strategies.base import DefaultStrategy, SendItem
+from repro.nmad.strategies.aggreg import AggregStrategy
+from repro.nmad.strategies.split_balance import SplitBalanceStrategy
+from repro.nmad.strategies.sampling import NetworkSampler
+
+_REGISTRY = {
+    "default": DefaultStrategy,
+    "aggreg": AggregStrategy,
+    "split_balance": SplitBalanceStrategy,
+}
+
+
+def make_strategy(name: str, core) -> DefaultStrategy:
+    """Instantiate a strategy by its NewMadeleine name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(core)
+
+
+__all__ = [
+    "SendItem",
+    "DefaultStrategy",
+    "AggregStrategy",
+    "SplitBalanceStrategy",
+    "NetworkSampler",
+    "make_strategy",
+]

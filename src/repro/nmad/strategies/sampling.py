@@ -1,0 +1,57 @@
+"""Network sampling: adaptive split ratios for heterogeneous multirail.
+
+The real NewMadeleine runs a sampling program at startup and derives a
+per-network performance profile used to compute an adaptive split ratio
+(paper Section 2.2 and [4]).  Here sampling probes the *model*: the
+effective bandwidth of a rail for a reference transfer size, which
+accounts for per-message gaps and DMA setup, not just the nominal line
+rate — so asymmetric rails get asymmetric shares.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.nmad.drivers.base import NmadDriver
+
+
+class NetworkSampler:
+    """Computes split shares and rail preference from sampled rates."""
+
+    def __init__(self, ref_size: int = 1 << 20):
+        if ref_size <= 0:
+            raise ValueError("ref_size must be positive")
+        self.ref_size = ref_size
+
+    def sampled_bandwidth(self, driver: NmadDriver) -> float:
+        """Effective B/s moving ``ref_size`` bytes through the rail."""
+        t = driver.nic.params.injection_time(self.ref_size)
+        return self.ref_size / t
+
+    def fastest(self, drivers: Sequence[NmadDriver]) -> NmadDriver:
+        """The rail with the lowest small-message latency."""
+        if not drivers:
+            raise ValueError("no drivers to choose from")
+        return min(drivers, key=lambda d: d.small_latency())
+
+    def ordered(self, drivers: Sequence[NmadDriver]) -> List[NmadDriver]:
+        """Drivers sorted by ascending small-message latency."""
+        return sorted(drivers, key=lambda d: d.small_latency())
+
+    def split(self, drivers: Sequence[NmadDriver], size: int) -> List[Tuple[NmadDriver, int]]:
+        """Stripe ``size`` bytes across ``drivers`` by sampled bandwidth.
+
+        Returns ``(driver, chunk_bytes)`` pairs with positive chunks
+        summing exactly to ``size``.
+        """
+        if not drivers:
+            raise ValueError("cannot split across zero drivers")
+        if size <= 0:
+            raise ValueError("split size must be positive")
+        rates = [self.sampled_bandwidth(d) for d in drivers]
+        total_rate = sum(rates)
+        chunks = [int(size * r / total_rate) for r in rates]
+        # hand the rounding remainder to the fastest-sampling rail
+        remainder = size - sum(chunks)
+        chunks[max(range(len(rates)), key=rates.__getitem__)] += remainder
+        return [(d, c) for d, c in zip(drivers, chunks) if c > 0]

@@ -1,0 +1,5 @@
+"""Runtime: build a cluster + per-rank stacks and execute rank programs."""
+
+from repro.runtime.builder import MPIRuntime, RunResult, run_mpi
+
+__all__ = ["MPIRuntime", "RunResult", "run_mpi"]

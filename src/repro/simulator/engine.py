@@ -1,0 +1,177 @@
+"""The simulation event loop.
+
+Time is a ``float`` in **seconds**.  The engine keeps a binary heap of
+``(time, seq, callback)`` entries; ``seq`` is a global monotonically
+increasing counter so that callbacks scheduled for the same instant run
+in FIFO order, which makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.simulator.errors import DeadlockError, SimulationError
+from repro.simulator.tracing import Trace
+
+
+class ScheduledCallback:
+    """Handle for a callback sitting in the event heap.
+
+    Supports :meth:`cancel`, which is O(1): the entry is flagged and the
+    event loop skips it when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable, args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.simulator.tracing.Trace` recorder.  When
+        provided, subsystems emit structured trace records through
+        :meth:`record`.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(1.5)
+    ...     return "done"
+    >>> task = sim.spawn(hello())
+    >>> sim.run()
+    1.5
+    >>> task.value
+    'done'
+    """
+
+    def __init__(self, trace: Optional[Trace] = None):
+        self._heap: list[tuple[float, int, ScheduledCallback]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running_tasks = 0
+        self._failed_tasks: list = []
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # Clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCallback:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any) -> ScheduledCallback:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self._now!r}, time={time!r})"
+            )
+        handle = ScheduledCallback(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Events & tasks (factories live here so user code needs only `sim`)
+    # ------------------------------------------------------------------
+    def event(self) -> "Event":
+        """Create a fresh untriggered :class:`Event`."""
+        from repro.simulator.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """An event that succeeds ``delay`` seconds from now."""
+        evt = self.event()
+        self.schedule(delay, evt.succeed, value)
+        return evt
+
+    def all_of(self, events: Iterable["Event"]) -> "Event":
+        from repro.simulator.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable["Event"]) -> "Event":
+        from repro.simulator.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    def spawn(self, generator, name: str = "") -> "Task":
+        """Start driving ``generator`` as a concurrent task."""
+        from repro.simulator.process import Task
+
+        return Task(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending callback.  Returns False when empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, detect_deadlock: bool = False) -> float:
+        """Run until the heap drains or ``until`` is reached.
+
+        Returns the final simulation time.  With ``detect_deadlock=True``
+        a :class:`DeadlockError` is raised if live tasks remain when the
+        heap drains (tasks blocked on events nobody will trigger).
+        """
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                self._now = until
+                self._raise_unobserved_failures()
+                return self._now
+            self.step()
+        self._raise_unobserved_failures()
+        if detect_deadlock and self._running_tasks > 0:
+            raise DeadlockError(
+                f"{self._running_tasks} task(s) blocked with no pending events "
+                f"at t={self._now}"
+            )
+        return self._now
+
+    def _raise_unobserved_failures(self) -> None:
+        """Re-raise the first task failure that nobody joined on.
+
+        Without this, an exception inside a spawned task would vanish
+        silently — the classic swallowed-failure bug of callback systems.
+        """
+        for task in self._failed_tasks:
+            if not task._observed:
+                raise task.value
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def record(self, category: str, **data: Any) -> None:
+        """Emit a trace record if tracing is enabled (cheap no-op otherwise)."""
+        if self.trace is not None:
+            self.trace.append(self._now, category, data)

@@ -1,0 +1,26 @@
+"""Exception types used by the simulation engine."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine itself."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when tasks remain but no events do.
+
+    A discrete-event simulation has deadlocked when live tasks are all
+    blocked on events that nothing can ever trigger.  This mirrors a real
+    MPI deadlock (e.g. two ranks both in a blocking receive).
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a task's generator by :meth:`Task.interrupt`.
+
+    Carries an arbitrary ``cause`` describing why the task was
+    interrupted (used e.g. by timer-driven preemption models).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause

@@ -1,0 +1,125 @@
+"""Blocking resources built on events: semaphores, mutexes, channels.
+
+These model the synchronization objects the paper's stack needs:
+semaphore-style completion waits (PIOMan replaces busy-wait loops with
+semaphores, Section 3.3.2), mutual exclusion around non-thread-safe
+network drivers, and FIFO message channels (Nemesis queues, NIC request
+queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.simulator.errors import SimulationError
+from repro.simulator.events import Event
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wake-up order.
+
+    ``acquire()`` returns an :class:`Event` that succeeds once a unit is
+    granted — yield it to block.
+    """
+
+    def __init__(self, sim, value: int = 0):
+        if value < 0:
+            raise SimulationError(f"semaphore initial value must be >= 0, got {value}")
+        self.sim = sim
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        """Units currently available."""
+        return self._value
+
+    @property
+    def waiting(self) -> int:
+        """Number of blocked acquirers."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        evt = self.sim.event()
+        if self._value > 0:
+            self._value -= 1
+            evt.succeed()
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self, units: int = 1) -> None:
+        for _ in range(units):
+            if self._waiters:
+                self._waiters.popleft().succeed()
+            else:
+                self._value += 1
+
+
+class Mutex(Semaphore):
+    """Binary semaphore starting unlocked.
+
+    Models locks protecting non-thread-safe drivers and request lists
+    (the source of PIOMan's network-path synchronization overhead).
+    """
+
+    def __init__(self, sim):
+        super().__init__(sim, value=1)
+
+    def release(self, units: int = 1) -> None:
+        if units != 1:
+            raise SimulationError("mutex release must be one unit")
+        if self._value >= 1 and not self._waiters:
+            raise SimulationError("mutex released while not held")
+        super().release()
+
+
+class Channel:
+    """Unbounded FIFO channel of items.
+
+    ``get()`` returns an event carrying the next item; getters are served
+    in FIFO order.  This is the shape of the Nemesis receive queue and of
+    NIC completion queues.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        evt = self.sim.event()
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Optional[Any]:
+        """Look at the head item without removing it; None when empty."""
+        if self._items:
+            return self._items[0]
+        return None

@@ -1,0 +1,50 @@
+"""Structured trace recording for simulations.
+
+Tracing is opt-in: construct a :class:`Trace` and pass it to the
+:class:`~repro.simulator.engine.Simulator`.  Subsystems then emit
+records through ``sim.record(category, **data)``.  Records are cheap
+named tuples; filtering helpers make assertions in tests readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    category: str
+    data: Dict[str, Any]
+
+
+class Trace:
+    """An append-only log of :class:`TraceRecord`."""
+
+    def __init__(self, categories: Optional[set] = None):
+        #: restrict recording to these categories (None = record all)
+        self.categories = categories
+        self.records: List[TraceRecord] = []
+
+    def append(self, time: float, category: str, data: Dict[str, Any]) -> None:
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, data))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, category: str, **match: Any) -> List[TraceRecord]:
+        """Records of ``category`` whose data contains all of ``match``."""
+        out = []
+        for rec in self.records:
+            if rec.category != category:
+                continue
+            if all(rec.data.get(k) == v for k, v in match.items()):
+                out.append(rec)
+        return out
+
+    def count(self, category: str, **match: Any) -> int:
+        return len(self.filter(category, **match))

@@ -1,0 +1,13 @@
+"""Marcel-style user-level thread scheduling model.
+
+The real PM2 suite schedules user-level (Marcel) threads over the
+machine's cores and lets PIOMan exploit idle cores for communication
+progress.  For the simulation, what matters is *core occupancy*: which
+threads hold cores, when cores are idle, and how long a background
+progress thread has to wait for one.  :class:`MarcelScheduler` models a
+node's cores as a FIFO semaphore plus accounting.
+"""
+
+from repro.threads.marcel import MarcelScheduler
+
+__all__ = ["MarcelScheduler"]

@@ -1,0 +1,24 @@
+"""Workloads: the benchmark programs of the paper's evaluation.
+
+* :mod:`~repro.workloads.netpipe` — latency/bandwidth ping-pong sweeps
+  (Figs. 4, 5, 6).
+* :mod:`~repro.workloads.overlap` — the isend/compute/wait asynchronous
+  progression benchmark (Fig. 7).
+* :mod:`~repro.workloads.nas` — NAS Parallel Benchmark communication
+  skeletons: BT, CG, EP, FT, SP, MG, LU (+ IS as an extension), classes
+  A/B/C (Fig. 8).
+* :mod:`~repro.workloads.stencil` — a halo-exchange application skeleton
+  (the overlap payoff the paper's conclusion anticipates).
+"""
+
+from repro.workloads.netpipe import NetpipeResult, run_netpipe
+from repro.workloads.overlap import OverlapResult, run_overlap
+from repro.workloads.stencil import StencilConfig, StencilResult, run_stencil
+from repro.workloads import nas
+
+__all__ = [
+    "NetpipeResult", "run_netpipe",
+    "OverlapResult", "run_overlap",
+    "StencilConfig", "StencilResult", "run_stencil",
+    "nas",
+]

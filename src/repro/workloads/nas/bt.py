@@ -1,0 +1,62 @@
+"""BT: block-tridiagonal solver on a 3D multipartition decomposition.
+
+Communication skeleton: each time step performs three directional ADI
+sweeps on a square q x q process grid; each sweep advances in q phases,
+each phase exchanging one sub-block face (~40 bytes per face cell) with
+the neighbour in the sweep direction.  Compute dominates; the sweeps
+make BT moderately latency-sensitive at larger process counts.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.base import (
+    KernelClass,
+    KernelSpec,
+    register,
+    square_side,
+    torus_neighbors_2d,
+)
+
+
+def _layout(comm, ctx):
+    if "q" not in ctx.extras:
+        q = square_side(ctx.p)
+        n = ctx.cls.grid[0]
+        ctx.extras["q"] = q
+        ctx.extras["face"] = max(64, 40 * (n * n) // (q * q))
+        ctx.extras["nbrs"] = torus_neighbors_2d(comm.rank, q, q)
+    return ctx.extras
+
+
+def sweep_iteration(comm, ctx, i, tag_prefix):
+    """Shared BT/SP multipartition time step."""
+    ex = _layout(comm, ctx)
+    q, face = ex["q"], ex["face"]
+    north, south, west, east = ex["nbrs"]
+    # (send-to, receive-from) pairs for the three directional sweeps
+    directions = [(east, west), (south, north), (west, east)]
+    chunk = ctx.compute_per_iter / (3 * max(q, 1))
+    for d, (dst, src) in enumerate(directions):
+        for step in range(q):
+            yield from comm.compute(chunk)
+            if ctx.p > 1:
+                yield from comm.sendrecv(dst, src, tag=(tag_prefix, i, d, step),
+                                         size=face)
+
+
+def iteration(comm, ctx, i):
+    yield from sweep_iteration(comm, ctx, i, "bt")
+
+
+register(KernelSpec(
+    name="bt",
+    rate_gflops=0.51,
+    proc_rule="square",
+    default_sim_iters=10,
+    classes={
+        "A": KernelClass("A", gop=168.3, iters=200, grid=(64,)),
+        "B": KernelClass("B", gop=721.5, iters=200, grid=(102,)),
+        "C": KernelClass("C", gop=2992.3, iters=200, grid=(162,)),
+    },
+    iteration=iteration,
+))

@@ -1,0 +1,44 @@
+"""CG: conjugate gradient with irregular sparse matrix-vector products.
+
+Communication skeleton: per outer iteration, ~25 inner CG steps each
+exchange partial vectors with a transpose partner across the process
+grid and reduce dot products.  Inner steps are coarsened 5:1 (sizes
+scaled up accordingly) to bound event counts; CG's low effective flop
+rate reflects its memory-bound irregular accesses.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.base import KernelClass, KernelSpec, register
+
+#: real inner iterations per outer step, and the coarsening we apply
+INNER = 25
+COARSE = 5
+
+
+def iteration(comm, ctx, i):
+    n = ctx.cls.grid[0]
+    p = ctx.p
+    # bisection-heavy transpose exchange partner
+    partner = (comm.rank + p // 2) % p if p > 1 else comm.rank
+    seg = max(64, 8 * n // p * (INNER // COARSE))
+    chunk = ctx.compute_per_iter / COARSE
+    for s in range(COARSE):
+        yield from comm.compute(chunk)
+        if p > 1:
+            yield from comm.sendrecv(partner, partner, tag=("cg", i, s), size=seg)
+            yield from comm.allreduce(size=8 * (INNER // COARSE))
+
+
+register(KernelSpec(
+    name="cg",
+    rate_gflops=0.054,
+    proc_rule="pow2",
+    default_sim_iters=10,
+    classes={
+        "A": KernelClass("A", gop=1.50, iters=15, grid=(14000,)),
+        "B": KernelClass("B", gop=54.7, iters=75, grid=(75000,)),
+        "C": KernelClass("C", gop=143.3, iters=75, grid=(150000,)),
+    },
+    iteration=iteration,
+))

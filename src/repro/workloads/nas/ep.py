@@ -1,0 +1,33 @@
+"""EP: embarrassingly parallel random-number statistics.
+
+Almost pure compute: each rank generates its share of Gaussian pairs
+and the run ends with a handful of small reductions.  EP isolates
+per-process runtime efficiency — which is how the paper's unexplained
+Open MPI lag on EP shows up (modeled as a compute-efficiency factor).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.base import KernelClass, KernelSpec, register
+
+
+def iteration(comm, ctx, i):
+    yield from comm.compute(ctx.compute_per_iter)
+    # sx, sy sums and the 10-bin annulus counts
+    yield from comm.allreduce(size=8)
+    yield from comm.allreduce(size=8)
+    yield from comm.allreduce(size=80)
+
+
+register(KernelSpec(
+    name="ep",
+    rate_gflops=0.098,
+    proc_rule="pow2",
+    default_sim_iters=1,
+    classes={
+        "A": KernelClass("A", gop=5.4, iters=1, grid=(1 << 28,)),
+        "B": KernelClass("B", gop=21.5, iters=1, grid=(1 << 30,)),
+        "C": KernelClass("C", gop=86.0, iters=1, grid=(1 << 32,)),
+    },
+    iteration=iteration,
+))

@@ -1,0 +1,34 @@
+"""FT: 3D FFT — the all-to-all transpose benchmark.
+
+Communication skeleton: each time step performs a global transpose of
+the complex grid: an all-to-all where every pair exchanges
+``16 * Nx*Ny*Nz / p^2`` bytes, wrapped in the FFT compute phases.  FT
+is the bandwidth-heavy collective workload of the set.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.base import KernelClass, KernelSpec, register
+
+
+def iteration(comm, ctx, i):
+    nx, ny, nz = ctx.cls.grid
+    pair = max(64, 16 * nx * ny * nz // (ctx.p * ctx.p))
+    yield from comm.compute(ctx.compute_per_iter / 2)
+    if ctx.p > 1:
+        yield from comm.alltoall(size=pair)
+    yield from comm.compute(ctx.compute_per_iter / 2)
+
+
+register(KernelSpec(
+    name="ft",
+    rate_gflops=0.204,
+    proc_rule="pow2",
+    default_sim_iters=8,
+    classes={
+        "A": KernelClass("A", gop=7.16, iters=6, grid=(256, 256, 128)),
+        "B": KernelClass("B", gop=92.75, iters=20, grid=(512, 256, 256)),
+        "C": KernelClass("C", gop=391.3, iters=20, grid=(512, 512, 512)),
+    },
+    iteration=iteration,
+))

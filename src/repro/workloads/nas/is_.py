@@ -1,0 +1,48 @@
+"""IS: integer bucket sort (extension beyond the paper's runs).
+
+The paper excluded IS because its MPICH2-NewMadeleine lacked datatype
+support; this reproduction has a datatype model, so IS runs.  Skeleton:
+per iteration, an allreduce of bucket counts followed by an all-to-all
+redistribution of keys, with the key exchange using a strided datatype
+to exercise the pack/unpack cost path.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.datatypes import vector
+from repro.workloads.nas.base import KernelClass, KernelSpec, register
+
+
+def iteration(comm, ctx, i):
+    nkeys = ctx.cls.grid[0]
+    p = ctx.p
+    yield from comm.compute(ctx.compute_per_iter)
+    if p > 1:
+        yield from comm.allreduce(size=4 * 1024)   # bucket histograms
+        pair = max(64, 4 * nkeys // (p * p))
+        # keys are gathered per destination bucket: strided accesses
+        dtype = vector(count=max(1, pair // 256), blocklen=64, stride=256)
+        tag = comm._next_coll_tag("is-keys")
+        reqs = []
+        for step in range(1, p):
+            dst = (comm.rank + step) % p
+            src = (comm.rank - step) % p
+            rr = yield from comm.irecv(src=src, tag=(tag, step), datatype=dtype)
+            sr = yield from comm.isend(dst, tag=(tag, step), size=pair,
+                                       datatype=dtype)
+            reqs.extend((rr, sr))
+        yield from comm.waitall(reqs)
+
+
+register(KernelSpec(
+    name="is",
+    rate_gflops=0.15,
+    proc_rule="pow2",
+    default_sim_iters=5,
+    classes={
+        "A": KernelClass("A", gop=0.78, iters=10, grid=(1 << 23,)),
+        "B": KernelClass("B", gop=3.3, iters=10, grid=(1 << 25,)),
+        "C": KernelClass("C", gop=13.4, iters=10, grid=(1 << 27,)),
+    },
+    iteration=iteration,
+))

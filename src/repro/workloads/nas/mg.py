@@ -1,0 +1,69 @@
+"""MG: multigrid V-cycles with halo exchanges at every grid level.
+
+Communication skeleton: each time step walks down and back up the grid
+hierarchy; at each level every rank exchanges six halo faces with its
+3D-torus neighbours, with face sizes shrinking by 4x per level.  Most
+compute lives on the finest level; coarse levels are latency-bound.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.base import (
+    KernelClass,
+    KernelSpec,
+    grid_3d,
+    register,
+)
+
+#: levels of the hierarchy we simulate per V-cycle
+LEVELS = 4
+
+
+def _layout(comm, ctx):
+    ex = ctx.extras
+    if "nbrs" not in ex:
+        fx, fy, fz = grid_3d(ctx.p)
+        r = comm.rank
+        z, rem = r % fz, r // fz
+        y, x = rem % fy, rem // fy
+
+        def nid(dx, dy, dz):
+            return (((x + dx) % fx) * fy + ((y + dy) % fy)) * fz + ((z + dz) % fz)
+
+        ex["nbrs"] = [(nid(1, 0, 0), nid(-1, 0, 0)),
+                      (nid(0, 1, 0), nid(0, -1, 0)),
+                      (nid(0, 0, 1), nid(0, 0, -1))]
+        ex["area_div"] = max(1, fy * fz)
+    return ex
+
+
+def iteration(comm, ctx, i):
+    ex = _layout(comm, ctx)
+    n = ctx.cls.grid[0]
+    levels = [n >> k for k in range(LEVELS)]
+    walk = levels + list(reversed(levels))       # down then up the V-cycle
+    weights = [lev ** 3 for lev in walk]
+    wsum = sum(weights)
+    for step, lev in enumerate(walk):
+        yield from comm.compute(ctx.compute_per_iter * weights[step] / wsum)
+        if ctx.p > 1:
+            face = max(64, 8 * lev * lev // ex["area_div"])
+            for d, (fwd, bwd) in enumerate(ex["nbrs"]):
+                if fwd == comm.rank:
+                    continue
+                yield from comm.sendrecv(fwd, bwd, tag=("mg", i, step, d),
+                                         size=face)
+
+
+register(KernelSpec(
+    name="mg",
+    rate_gflops=0.324,
+    proc_rule="pow2",
+    default_sim_iters=8,
+    classes={
+        "A": KernelClass("A", gop=3.63, iters=4, grid=(256,)),
+        "B": KernelClass("B", gop=18.16, iters=20, grid=(256,)),
+        "C": KernelClass("C", gop=155.7, iters=20, grid=(512,)),
+    },
+    iteration=iteration,
+))

@@ -1,0 +1,30 @@
+"""SP: scalar-pentadiagonal solver.
+
+Same multipartition sweep structure as BT but with twice the time steps
+and roughly a third of the per-step computation — which is exactly why
+SP is more communication-bound and scales worse (paper Fig. 8: SP at 36
+processes is poor for every implementation).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.nas.base import KernelClass, KernelSpec, register
+from repro.workloads.nas.bt import sweep_iteration
+
+
+def iteration(comm, ctx, i):
+    yield from sweep_iteration(comm, ctx, i, "sp")
+
+
+register(KernelSpec(
+    name="sp",
+    rate_gflops=0.40,
+    proc_rule="square",
+    default_sim_iters=10,
+    classes={
+        "A": KernelClass("A", gop=85.0, iters=400, grid=(64,)),
+        "B": KernelClass("B", gop=447.1, iters=400, grid=(102,)),
+        "C": KernelClass("C", gop=1978.8, iters=400, grid=(162,)),
+    },
+    iteration=iteration,
+))

@@ -1,0 +1,92 @@
+"""Netpipe: the protocol-independent ping-pong performance evaluator.
+
+Measures steady-state one-way latency (round-trip / 2) and bandwidth
+across a sweep of message sizes, with warm-up iterations so that
+registration caches behave as in the paper's runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import ClusterSpec, StackSpec
+from repro.mpich2.request import ANY_SOURCE
+from repro.runtime import run_mpi
+
+#: Fig. 4(a)/5(a)/6 latency sweep: 1 B .. 512 B
+LATENCY_SIZES = [1 << i for i in range(10)]
+#: Fig. 4(b)/5(b) bandwidth sweep: 1 B .. 64 MiB
+BANDWIDTH_SIZES = [1 << i for i in range(0, 27, 2)]
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class NetpipeResult:
+    """One stack's sweep: sizes, one-way latencies (s), bandwidths (MiB/s)."""
+
+    stack: str
+    sizes: List[int] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    bandwidths: List[float] = field(default_factory=list)
+
+    def latency_at(self, size: int) -> float:
+        return self.latencies[self.sizes.index(size)]
+
+    def bandwidth_at(self, size: int) -> float:
+        return self.bandwidths[self.sizes.index(size)]
+
+
+def pingpong(size: int, reps: int, warmup: int, anysource: bool = False,
+             peer_pair=(0, 1)):
+    """Rank program: returns one-way time (s) on the initiating rank."""
+    a, b = peer_pair
+
+    def program(comm):
+        if comm.rank not in (a, b):
+            return None
+        me_a = comm.rank == a
+        peer = b if me_a else a
+        src = ANY_SOURCE if (anysource and not me_a) else peer
+        for i in range(warmup):
+            if me_a:
+                yield from comm.send(peer, tag=("w", i), size=size)
+                yield from comm.recv(src=peer, tag=("w", i))
+            else:
+                yield from comm.recv(src=src, tag=("w", i))
+                yield from comm.send(peer, tag=("w", i), size=size)
+        t0 = comm.sim.now
+        for i in range(reps):
+            if me_a:
+                yield from comm.send(peer, tag=("p", i), size=size)
+                yield from comm.recv(src=peer, tag=("p", i))
+            else:
+                yield from comm.recv(src=src, tag=("p", i))
+                yield from comm.send(peer, tag=("p", i), size=size)
+        return (comm.sim.now - t0) / (2 * reps)
+
+    return program
+
+
+def run_netpipe(stack: StackSpec, cluster: ClusterSpec,
+                sizes: Sequence[int], reps: int = 10, warmup: int = 2,
+                anysource: bool = False, intra_node: bool = False,
+                ranks_per_node: Optional[int] = None) -> NetpipeResult:
+    """Sweep ``sizes`` between two ranks under one stack configuration.
+
+    ``intra_node=True`` places both ranks on one node (Fig. 6a).
+    """
+    result = NetpipeResult(stack=stack.name)
+    rpn = ranks_per_node
+    if intra_node:
+        cluster = ClusterSpec(n_nodes=1, node=cluster.node, rails=cluster.rails)
+        rpn = 2
+    for size in sizes:
+        r = run_mpi(pingpong(size, reps, warmup, anysource=anysource),
+                    2, stack, cluster=cluster, ranks_per_node=rpn)
+        one_way = r.result(0)
+        result.sizes.append(size)
+        result.latencies.append(one_way)
+        result.bandwidths.append(size / one_way / MiB)
+    return result

@@ -1,0 +1,69 @@
+"""The communication/computation overlap benchmark (paper Fig. 7).
+
+"The sender calls MPI_Isend, computes for a while and waits for the end
+of the communication (using MPI_Wait).  Then the sender waits for an
+incoming message.  We measure the time required to send the message and
+to perform the computation."
+
+A stack with background progress (PIOMan) yields
+``max(computation, communication)``; the others yield the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.config import ClusterSpec, StackSpec
+from repro.runtime import run_mpi
+
+
+@dataclass
+class OverlapResult:
+    """Sending times (s) per message size for one (stack, compute) pair."""
+
+    stack: str
+    compute: float
+    sizes: List[int]
+    sending_times: List[float]
+
+    def at(self, size: int) -> float:
+        return self.sending_times[self.sizes.index(size)]
+
+
+def overlap_program(size: int, compute: float, reps: int = 5, warmup: int = 1):
+    """Rank 0 returns the mean isend+compute+wait time (s)."""
+
+    def program(comm):
+        total = 0.0
+        for i in range(warmup + reps):
+            if comm.rank == 0:
+                t0 = comm.sim.now
+                req = yield from comm.isend(1, tag=("ov", i), size=size)
+                if compute > 0.0:
+                    yield from comm.compute(compute)
+                yield from comm.wait(req)
+                if i >= warmup:
+                    total += comm.sim.now - t0
+                # wait for the receiver's ack before the next round
+                yield from comm.recv(src=1, tag=("ack", i))
+            else:
+                yield from comm.recv(src=0, tag=("ov", i))
+                yield from comm.send(0, tag=("ack", i), size=4)
+        if comm.rank == 0:
+            return total / reps
+        return None
+
+    return program
+
+
+def run_overlap(stack: StackSpec, cluster: ClusterSpec, sizes: Sequence[int],
+                compute: float, reps: int = 5) -> OverlapResult:
+    """Measure sending time across ``sizes`` with a fixed compute phase."""
+    times = []
+    for size in sizes:
+        r = run_mpi(overlap_program(size, compute, reps=reps), 2, stack,
+                    cluster=cluster)
+        times.append(r.result(0))
+    return OverlapResult(stack=stack.name, compute=compute,
+                         sizes=list(sizes), sending_times=times)

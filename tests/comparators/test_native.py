@@ -1,0 +1,133 @@
+"""Comparator (native MPI stack) behaviour."""
+
+import pytest
+
+from repro import config
+from repro.comparators.native import NativeCosts
+from repro.mpi import ANY_SOURCE
+from repro.runtime import run_mpi
+from repro.simulator import Trace
+
+
+def run2(program, spec=None, trace=None):
+    return run_mpi(program, 2, spec or config.mvapich2(),
+                   cluster=config.xeon_pair(), trace=trace)
+
+
+def run_intra(program, spec=None):
+    return run_mpi(program, 2, spec or config.mvapich2(),
+                   cluster=config.ClusterSpec(n_nodes=1), ranks_per_node=2)
+
+
+def exchange(size, data="d"):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, size=size, data=data)
+            return None
+        msg = yield from comm.recv(src=0, tag=1)
+        return (msg.source, msg.size, msg.data)
+    return program
+
+
+@pytest.mark.parametrize("preset", ["mvapich2", "openmpi_ib"])
+@pytest.mark.parametrize("size", [8, 8 << 10, 1 << 20])
+def test_exchange_all_sizes(preset, size):
+    spec = getattr(config, preset)()
+    r = run2(exchange(size, data="x"), spec=spec)
+    assert r.result(1) == (0, size, "x")
+
+
+def test_eager_single_frame_rdv_multiple():
+    trace = Trace(categories={"nic.tx"})
+    run2(exchange(1024), trace=trace)
+    assert trace.count("nic.tx") == 1
+
+    trace2 = Trace(categories={"nic.tx"})
+    run2(exchange(1 << 20), trace=trace2)
+    # RTS + CTS + one 1 MiB pipeline chunk
+    assert trace2.count("nic.tx") == 3
+
+
+def test_pipeline_chunking():
+    costs = NativeCosts(pipeline_chunk=256 * 1024)
+    spec = config.mvapich2().with_(native_costs=costs)
+    trace = Trace(categories={"nic.tx"})
+    run2(exchange(1 << 20), spec=spec, trace=trace)
+    # RTS + CTS + 4 chunks of 256 KiB
+    assert trace.count("nic.tx") == 6
+
+
+def test_registration_cache_speeds_up_repeat_transfers():
+    def repeated(comm):
+        times = []
+        for i in range(3):
+            t0 = comm.sim.now
+            if comm.rank == 0:
+                yield from comm.send(1, tag=i, size=8 << 20)
+            else:
+                yield from comm.recv(src=0, tag=i)
+            times.append(comm.sim.now - t0)
+        return times
+
+    times = run2(repeated).result(1)
+    assert times[1] < times[0]            # cache hit from the second on
+    assert times[2] == pytest.approx(times[1], rel=0.02)
+
+
+def test_bw_derate_reduces_bandwidth():
+    fast = config.mvapich2()
+    slow = config.mvapich2().with_(
+        native_costs=fast.native_costs.__class__(
+            **{**fast.native_costs.__dict__, "bw_derate": 0.5}))
+    t_fast = run2(exchange(8 << 20), spec=fast).elapsed
+    t_slow = run2(exchange(8 << 20), spec=slow).elapsed
+    assert t_slow > t_fast * 1.5
+
+
+def test_shm_path_used_intra_node():
+    trace = Trace(categories={"nic.tx"})
+    r = run_mpi(exchange(4096, data="local"), 2, config.mvapich2(),
+                cluster=config.ClusterSpec(n_nodes=1), ranks_per_node=2,
+                trace=trace)
+    assert r.result(1) == (0, 4096, "local")
+    assert trace.count("nic.tx") == 0     # never touched the NIC
+
+
+def test_native_any_source():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="as", size=64, data="w")
+            return None
+        msg = yield from comm.recv(src=ANY_SOURCE, tag="as")
+        return (msg.source, msg.data)
+
+    r = run2(program)
+    assert r.result(1) == (0, "w")
+
+
+def test_native_message_ordering():
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(20):
+                yield from comm.send(1, tag="seq", size=100, data=i)
+            return None
+        out = []
+        for _ in range(20):
+            msg = yield from comm.recv(src=0, tag="seq")
+            out.append(msg.data)
+        return out
+
+    r = run2(program)
+    assert r.result(1) == list(range(20))
+
+
+def test_openmpi_slower_than_mvapich_at_peak():
+    t_mva = run2(exchange(16 << 20), spec=config.mvapich2()).elapsed
+    t_omp = run2(exchange(16 << 20), spec=config.openmpi_ib()).elapsed
+    assert t_omp > t_mva
+
+
+def test_btl_mx_slower_than_pml_mx():
+    t_pml = run2(exchange(8), spec=config.openmpi_pml_mx()).elapsed
+    t_btl = run2(exchange(8), spec=config.openmpi_btl_mx()).elapsed
+    assert t_btl > t_pml + 1e-6

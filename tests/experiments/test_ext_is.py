@@ -1,0 +1,25 @@
+"""The IS datatype extension experiment."""
+
+from repro.experiments import ext_is_datatypes
+from repro.workloads.nas import KERNELS
+
+
+def test_ext_is_runs_and_shows_datatype_cost():
+    data = ext_is_datatypes.run(fast=True)
+    strided = data["tables"]["strided (datatypes)"]
+    contig = data["tables"]["contiguous"]
+    for s, c in zip(strided, contig):
+        assert s > c                     # pack/unpack costs time
+        assert s < c * 1.5               # but is not the dominant term
+
+
+def test_temporary_kernel_is_cleaned_up():
+    ext_is_datatypes.run(fast=True)
+    assert "is-contig" not in KERNELS
+
+
+def test_main_prints(capsys):
+    ext_is_datatypes.main(fast=True)
+    out = capsys.readouterr().out
+    assert "NAS IS" in out
+    assert "pack/unpack" in out

@@ -1,0 +1,97 @@
+"""Unit tests for memory registration and cluster topology."""
+
+import pytest
+
+from repro.hardware import MemoryRegistrar, MemParams, build_cluster, presets
+from repro.simulator import Simulator
+
+
+def test_copy_time_scales_with_size():
+    mem = MemParams(copy_bandwidth=1e9, copy_base=10e-9)
+    assert mem.copy_time(0) == pytest.approx(10e-9)
+    assert mem.copy_time(1000) == pytest.approx(10e-9 + 1e-6)
+
+
+def test_registration_without_cache_always_full_cost():
+    mem = MemParams(reg_base=1e-6, reg_per_byte=1e-9)
+    reg = MemoryRegistrar(mem, cache=False)
+    c1 = reg.cost("buf", 1000)
+    c2 = reg.cost("buf", 1000)
+    assert c1 == c2 == pytest.approx(1e-6 + 1e-6)
+    assert reg.full_registrations == 2
+    assert reg.cache_hits == 0
+
+
+def test_registration_cache_hits_after_first():
+    mem = MemParams(reg_base=1e-6, reg_per_byte=1e-9, reg_cache_hit=0.1e-6)
+    reg = MemoryRegistrar(mem, cache=True)
+    first = reg.cost("buf", 1000)
+    second = reg.cost("buf", 1000)
+    assert first == pytest.approx(2e-6)
+    assert second == pytest.approx(0.1e-6)
+    assert reg.cache_hits == 1
+
+
+def test_registration_cache_distinguishes_sizes():
+    reg = MemoryRegistrar(MemParams(), cache=True)
+    reg.cost("buf", 1000)
+    c = reg.cost("buf", 2000)
+    assert c > MemParams().reg_cache_hit
+
+
+def test_build_cluster_shape():
+    sim = Simulator()
+    cluster = build_cluster(
+        sim, 4, presets.XEON_NODE, [presets.IB_CONNECTX, presets.MX_MYRI10G]
+    )
+    assert len(cluster) == 4
+    assert cluster.rail_names == ["ib", "mx"]
+    for node in cluster.nodes:
+        assert set(node.nics) == {"ib", "mx"}
+        assert node.params.cores == 8
+
+
+def test_cluster_nics_are_connected():
+    sim = Simulator()
+    cluster = build_cluster(sim, 2, presets.XEON_NODE, [presets.IB_CONNECTX])
+    from repro.hardware import Frame
+
+    got = []
+    cluster.node(1).nics["ib"].rx_notify = lambda f: got.append(f)
+    cluster.node(0).nics["ib"].post_send(Frame(src=0, dst=1, size=8))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_build_cluster_rejects_empty():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        build_cluster(sim, 0, presets.XEON_NODE, [presets.IB_CONNECTX])
+
+
+def test_build_cluster_rejects_duplicate_rails():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        build_cluster(sim, 2, presets.XEON_NODE, [presets.IB_CONNECTX, presets.IB_CONNECTX])
+
+
+def test_ib_raw_latency_calibration():
+    """The IB preset must reproduce the paper's 1.2 us raw latency."""
+    p = presets.IB_CONNECTX
+    raw = p.post_overhead + p.transfer_time(4) + p.recv_overhead
+    assert raw == pytest.approx(1.2e-6, abs=0.1e-6)
+
+
+def test_mx_raw_latency_calibration():
+    # MX raw ~1.95 us; the Nmad:MX stack lands at ~2.7 us (Fig. 5a/6b)
+    p = presets.MX_MYRI10G
+    raw = p.post_overhead + p.transfer_time(4) + p.recv_overhead
+    assert raw == pytest.approx(1.95e-6, abs=0.2e-6)
+
+
+def test_make_registrar_policies():
+    sim = Simulator()
+    cluster = build_cluster(sim, 1, presets.XEON_NODE, [presets.IB_CONNECTX])
+    cached = cluster.node(0).make_registrar(cache=True)
+    uncached = cluster.node(0).make_registrar(cache=False)
+    assert cached.cache and not uncached.cache

@@ -1,0 +1,104 @@
+"""Runtime assembly: placement, validation, failure surfacing."""
+
+import pytest
+
+from repro import config
+from repro.runtime import MPIRuntime, run_mpi
+
+
+def test_default_cluster_one_rank_per_node():
+    rt = MPIRuntime(4, config.mpich2_nmad())
+    assert len(rt.cluster) == 4
+    assert [rt.rank_to_node(r) for r in range(4)] == [0, 1, 2, 3]
+
+
+def test_block_placement():
+    rt = MPIRuntime(8, config.mpich2_nmad(),
+                    cluster=config.ClusterSpec(n_nodes=2), ranks_per_node=4)
+    assert [rt.rank_to_node(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert rt.ranks_on_node(0) == [0, 1, 2, 3]
+
+
+def test_overflow_ranks_land_on_last_node():
+    rt = MPIRuntime(5, config.mpich2_nmad(),
+                    cluster=config.ClusterSpec(n_nodes=2), ranks_per_node=2)
+    assert rt.rank_to_node(4) == 1
+
+
+def test_missing_rail_rejected():
+    with pytest.raises(ValueError, match="rails"):
+        MPIRuntime(2, config.mpich2_nmad(rails=("mx",)),
+                   cluster=config.ClusterSpec(n_nodes=2))  # cluster has ib only
+
+
+def test_zero_procs_rejected():
+    with pytest.raises(ValueError):
+        MPIRuntime(0, config.mpich2_nmad())
+
+
+def test_unknown_stack_kind_rejected():
+    with pytest.raises(ValueError, match="unknown stack kind"):
+        MPIRuntime(2, config.mpich2_nmad().with_(kind="weird"))
+
+
+def test_deadlock_reported_with_rank_list():
+    def deadlock(comm):
+        # both ranks wait for a message nobody sends
+        yield from comm.recv(src=1 - comm.rank, tag="never")
+
+    with pytest.raises(RuntimeError, match=r"ranks \[0, 1\]"):
+        run_mpi(deadlock, 2, config.mpich2_nmad(), cluster=config.xeon_pair())
+
+
+def test_partial_deadlock_names_stuck_rank():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.compute(1e-6)
+            return "done"
+        yield from comm.recv(src=0, tag="never")
+
+    with pytest.raises(RuntimeError, match=r"ranks \[1\]"):
+        run_mpi(program, 2, config.mpich2_nmad(), cluster=config.xeon_pair())
+
+
+def test_application_exception_propagates():
+    def program(comm):
+        yield from comm.compute(1e-6)
+        if comm.rank == 1:
+            raise ValueError("application bug")
+
+    with pytest.raises(ValueError, match="application bug"):
+        run_mpi(program, 2, config.mpich2_nmad(), cluster=config.xeon_pair())
+
+
+def test_run_result_fields():
+    def program(comm):
+        yield from comm.compute((comm.rank + 1) * 1e-3)
+        return comm.rank * 2
+
+    r = run_mpi(program, 3, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=3))
+    assert r.rank_results == [0, 2, 4]
+    assert r.elapsed == pytest.approx(3e-3)
+    assert r.rank_times[0] == pytest.approx(1e-3)
+    assert r.result(2) == 4
+
+
+def test_pioman_instantiated_only_when_requested():
+    rt = MPIRuntime(2, config.mpich2_nmad(), cluster=config.xeon_pair())
+    assert all(pm is None for pm in rt.piomans.values())
+    rt2 = MPIRuntime(2, config.mpich2_nmad_pioman(), cluster=config.xeon_pair())
+    assert all(pm is not None for pm in rt2.piomans.values())
+
+
+def test_multirail_stack_gets_both_drivers():
+    rt = MPIRuntime(2, config.mpich2_nmad(rails=("ib", "mx")),
+                    cluster=config.xeon_pair())
+    assert sorted(d.name for d in rt.stacks[0].core.drivers) == ["ib", "mx"]
+
+
+def test_spec_with_helper():
+    spec = config.mpich2_nmad()
+    mod = spec.with_(strategy="default")
+    assert mod.strategy == "default"
+    assert spec.strategy == "aggreg"  # original untouched

@@ -1,0 +1,177 @@
+"""Collective algorithms: correctness of values and synchronization."""
+
+import pytest
+
+from repro import config
+from repro.runtime import run_mpi
+
+
+def run_coll(program, nprocs, spec=None):
+    spec = spec or config.mpich2_nmad()
+    cluster = config.ClusterSpec(n_nodes=nprocs)
+    return run_mpi(program, nprocs, spec, cluster=cluster)
+
+
+PROC_COUNTS = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_barrier_synchronizes(p):
+    def program(comm):
+        # stagger arrival; everyone must leave after the last arrival
+        yield from comm.compute((comm.rank + 1) * 10e-6)
+        yield from comm.barrier()
+        return comm.sim.now
+
+    r = run_coll(program, p)
+    latest_arrival = p * 10e-6
+    for t in r.rank_results:
+        assert t >= latest_arrival
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_bcast_delivers_root_value(p):
+    def program(comm):
+        value = {"n": 42} if comm.rank == 0 else None
+        out = yield from comm.bcast(1024, data=value, root=0)
+        return out
+
+    r = run_coll(program, p)
+    assert all(v == {"n": 42} for v in r.rank_results)
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_bcast_nonzero_root(p):
+    root = p - 1
+
+    def program(comm):
+        value = "rooted" if comm.rank == root else None
+        out = yield from comm.bcast(64, data=value, root=root)
+        return out
+
+    r = run_coll(program, p)
+    assert all(v == "rooted" for v in r.rank_results)
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_reduce_sum(p):
+    def program(comm):
+        out = yield from comm.reduce(8, value=comm.rank + 1, root=0)
+        return out
+
+    r = run_coll(program, p)
+    assert r.result(0) == p * (p + 1) // 2
+    for other in r.rank_results[1:]:
+        assert other is None
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_allreduce_sum(p):
+    def program(comm):
+        out = yield from comm.allreduce(8, value=comm.rank + 1)
+        return out
+
+    r = run_coll(program, p)
+    assert r.rank_results == [p * (p + 1) // 2] * p
+
+
+def test_allreduce_custom_op():
+    def program(comm):
+        out = yield from comm.allreduce(8, value=comm.rank + 1,
+                                        op=lambda a, b: max(a, b))
+        return out
+
+    r = run_coll(program, 4)
+    assert r.rank_results == [4, 4, 4, 4]
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_gather_collects_by_rank(p):
+    def program(comm):
+        out = yield from comm.gather(16, value=f"r{comm.rank}", root=0)
+        return out
+
+    r = run_coll(program, p)
+    assert r.result(0) == [f"r{i}" for i in range(p)]
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_scatter_distributes_by_rank(p):
+    def program(comm):
+        values = [f"v{i}" for i in range(p)] if comm.rank == 0 else None
+        out = yield from comm.scatter(16, values=values, root=0)
+        return out
+
+    r = run_coll(program, p)
+    assert r.rank_results == [f"v{i}" for i in range(p)]
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_allgather_everyone_sees_everything(p):
+    def program(comm):
+        out = yield from comm.allgather(16, value=comm.rank * 10)
+        return out
+
+    r = run_coll(program, p)
+    expected = [i * 10 for i in range(p)]
+    assert all(v == expected for v in r.rank_results)
+
+
+@pytest.mark.parametrize("p", PROC_COUNTS)
+def test_alltoall_transposes(p):
+    def program(comm):
+        values = [f"{comm.rank}->{d}" for d in range(p)]
+        out = yield from comm.alltoall(32, values=values)
+        return out
+
+    r = run_coll(program, p)
+    for rank, got in enumerate(r.rank_results):
+        assert got == [f"{s}->{rank}" for s in range(p)]
+
+
+def test_collectives_mixed_node_placement():
+    """Collectives crossing both shm and network paths."""
+    def program(comm):
+        out = yield from comm.allreduce(8, value=1)
+        yield from comm.barrier()
+        out2 = yield from comm.allgather(64, value=comm.rank)
+        return (out, out2)
+
+    r = run_mpi(program, 8, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=2), ranks_per_node=4)
+    for total, gathered in r.rank_results:
+        assert total == 8
+        assert gathered == list(range(8))
+
+
+def test_consecutive_collectives_do_not_cross_match():
+    def program(comm):
+        a = yield from comm.allreduce(8, value=1)
+        b = yield from comm.allreduce(8, value=10)
+        c = yield from comm.allreduce(8, value=100)
+        return (a, b, c)
+
+    r = run_coll(program, 4)
+    assert r.rank_results == [(4, 40, 400)] * 4
+
+
+def test_collectives_under_pioman():
+    def program(comm):
+        out = yield from comm.allreduce(8, value=comm.rank)
+        return out
+
+    r = run_coll(program, 4, spec=config.mpich2_nmad_pioman())
+    assert r.rank_results == [6, 6, 6, 6]
+
+
+def test_collectives_on_native_stack():
+    def program(comm):
+        out = yield from comm.allreduce(8, value=comm.rank)
+        values = [comm.rank * p for p in range(comm.size)]
+        out2 = yield from comm.alltoall(128, values=values)
+        return (out, out2)
+
+    r = run_coll(program, 4, spec=config.mvapich2())
+    for rank, (total, got) in enumerate(r.rank_results):
+        assert total == 6
+        assert got == [s * rank for s in range(4)]

@@ -1,0 +1,78 @@
+"""scan / exscan / reduce_scatter collectives."""
+
+import pytest
+
+from repro import config
+from repro.runtime import run_mpi
+
+
+def run_coll(program, nprocs, spec=None):
+    spec = spec or config.mpich2_nmad()
+    return run_mpi(program, nprocs, spec,
+                   cluster=config.ClusterSpec(n_nodes=nprocs))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 5, 8])
+def test_scan_inclusive_prefix(p):
+    def program(comm):
+        out = yield from comm.scan(8, value=comm.rank + 1)
+        return out
+
+    r = run_coll(program, p)
+    expected = [sum(range(1, i + 2)) for i in range(p)]
+    assert r.rank_results == expected
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_exscan_exclusive_prefix(p):
+    def program(comm):
+        out = yield from comm.exscan(8, value=comm.rank + 1)
+        return out
+
+    r = run_coll(program, p)
+    expected = [None] + [sum(range(1, i + 1)) for i in range(1, p)]
+    assert r.rank_results == expected
+
+
+def test_scan_custom_op():
+    def program(comm):
+        out = yield from comm.scan(8, value=comm.rank + 1,
+                                   op=lambda a, b: a * b)
+        return out
+
+    r = run_coll(program, 4)
+    assert r.rank_results == [1, 2, 6, 24]
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_reduce_scatter_blocks(p):
+    def program(comm):
+        # rank r contributes [r*10 + d for each destination d]
+        values = [comm.rank * 10 + d for d in range(comm.size)]
+        out = yield from comm.reduce_scatter(16, values=values)
+        return out
+
+    r = run_coll(program, p)
+    for dest, got in enumerate(r.rank_results):
+        expected = sum(src * 10 + dest for src in range(p))
+        assert got == expected
+
+
+def test_scan_under_pioman():
+    def program(comm):
+        out = yield from comm.scan(8, value=1)
+        return out
+
+    r = run_coll(program, 4, spec=config.mpich2_nmad_pioman())
+    assert r.rank_results == [1, 2, 3, 4]
+
+
+def test_prefix_collectives_on_native_stack():
+    def program(comm):
+        a = yield from comm.scan(8, value=comm.rank)
+        b = yield from comm.exscan(8, value=comm.rank)
+        return (a, b)
+
+    r = run_coll(program, 4, spec=config.openmpi_ib())
+    assert [a for a, _ in r.rank_results] == [0, 1, 3, 6]
+    assert [b for _, b in r.rank_results] == [None, 0, 1, 3]

@@ -1,0 +1,187 @@
+"""Sub-communicators (split/dup) and persistent requests."""
+
+import pytest
+
+from repro import config
+from repro.mpi import ANY_SOURCE
+from repro.runtime import run_mpi
+
+
+def run_p(program, nprocs, spec=None):
+    return run_mpi(program, nprocs, spec or config.mpich2_nmad(),
+                   cluster=config.ClusterSpec(n_nodes=nprocs))
+
+
+# ---------------------------------------------------------------------------
+# split / dup
+# ---------------------------------------------------------------------------
+
+def test_split_into_rows():
+    """A 2x3 grid split by row: each sub-communicator has its own ranks."""
+    def program(comm):
+        row = comm.rank // 3
+        sub = yield from comm.split(color=row)
+        total = yield from sub.allreduce(8, value=comm.rank)
+        return (row, sub.rank, sub.size, total)
+
+    r = run_p(program, 6)
+    for world_rank, (row, sub_rank, sub_size, total) in enumerate(r.rank_results):
+        assert row == world_rank // 3
+        assert sub_rank == world_rank % 3
+        assert sub_size == 3
+        assert total == sum(range(row * 3, row * 3 + 3))
+
+
+def test_split_key_reorders_ranks():
+    def program(comm):
+        sub = yield from comm.split(color=0, key=-comm.rank)  # reversed
+        return sub.rank
+
+    r = run_p(program, 4)
+    assert r.rank_results == [3, 2, 1, 0]
+
+
+def test_split_with_none_color_opts_out():
+    def program(comm):
+        color = 0 if comm.rank < 2 else None
+        sub = yield from comm.split(color=color)
+        if sub is None:
+            return "out"
+        total = yield from sub.allreduce(8, value=1)
+        return total
+
+    r = run_p(program, 4)
+    assert r.rank_results == [2, 2, "out", "out"]
+
+
+def test_split_traffic_isolated_from_parent():
+    """Same tag on parent and child must not cross-match."""
+    def program(comm):
+        sub = yield from comm.split(color=0)
+        if comm.rank == 0:
+            yield from comm.send(1, tag="t", size=32, data="world")
+            yield from sub.send(1, tag="t", size=32, data="sub")
+            return None
+        if comm.rank == 1:
+            sub_msg = yield from sub.recv(src=0, tag="t")
+            world_msg = yield from comm.recv(src=0, tag="t")
+            return (world_msg.data, sub_msg.data)
+
+    r = run_p(program, 2)
+    assert r.result(1) == ("world", "sub")
+
+
+def test_nested_split():
+    def program(comm):
+        half = yield from comm.split(color=comm.rank // 4)
+        quarter = yield from half.split(color=half.rank // 2)
+        total = yield from quarter.allreduce(8, value=comm.rank)
+        return (quarter.size, total)
+
+    r = run_p(program, 8)
+    expected = [(2, 1), (2, 1), (2, 5), (2, 5), (2, 9), (2, 9), (2, 13), (2, 13)]
+    assert r.rank_results == expected
+
+
+def test_dup_isolates_contexts():
+    def program(comm):
+        dup = yield from comm.dup()
+        assert dup.size == comm.size and dup.rank == comm.rank
+        if comm.rank == 0:
+            yield from dup.send(1, tag=9, size=16, data="dup")
+            yield from comm.send(1, tag=9, size=16, data="orig")
+            return None
+        a = yield from comm.recv(src=0, tag=9)
+        b = yield from dup.recv(src=0, tag=9)
+        return (a.data, b.data)
+
+    r = run_p(program, 2)
+    assert r.result(1) == ("orig", "dup")
+
+
+def test_sub_comm_anysource_and_probe():
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank % 2)
+        if sub.rank == 0:
+            msg = yield from sub.recv(src=ANY_SOURCE, tag="w")
+            return (msg.source, msg.data)
+        yield from sub.send(0, tag="w", size=32, data=f"r{comm.rank}")
+        return None
+
+    r = run_p(program, 4)
+    assert r.result(0) == (1, "r2")   # sub rank 1 of color-0 comm = world 2
+    assert r.result(1) == (1, "r3")
+
+
+def test_message_source_is_communicator_local():
+    def program(comm):
+        sub = yield from comm.split(color=comm.rank // 2)
+        if sub.rank == 1:
+            yield from sub.send(0, tag=0, size=8, data="x")
+            return None
+        msg = yield from sub.recv(src=1, tag=0)
+        return msg.source
+
+    r = run_p(program, 4)
+    assert r.result(0) == 1   # local rank, not world rank 1
+    assert r.result(2) == 1   # local rank, not world rank 3
+
+
+# ---------------------------------------------------------------------------
+# persistent requests
+# ---------------------------------------------------------------------------
+
+def test_persistent_ring_reused_across_iterations():
+    iters = 5
+
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        psend = comm.send_init(right, tag="ring", size=128)
+        precv = comm.recv_init(src=left, tag="ring")
+        got = []
+        for it in range(iters):
+            psend.data = (comm.rank, it)
+            yield from comm.startall([precv, psend])
+            msg = yield from comm.wait(precv)
+            yield from psend.wait()
+            got.append(msg.data)
+        assert psend.starts == iters and precv.starts == iters
+        return got
+
+    r = run_p(program, 4)
+    for rank, got in enumerate(r.rank_results):
+        left = (rank - 1) % 4
+        assert got == [(left, it) for it in range(iters)]
+
+
+def test_persistent_start_while_active_rejected():
+    def program(comm):
+        if comm.rank == 0:
+            precv = comm.recv_init(src=1, tag=0)
+            yield from precv.start()
+            yield from precv.start()   # active and incomplete
+        else:
+            yield from comm.compute(1e-3)
+
+    with pytest.raises(RuntimeError, match="while active"):
+        run_p(program, 2)
+
+
+def test_persistent_wait_before_start_rejected():
+    def program(comm):
+        preq = comm.send_init(1 - comm.rank, tag=0, size=8)
+        yield from preq.wait()
+
+    with pytest.raises(RuntimeError, match="before start"):
+        run_p(program, 2)
+
+
+def test_persistent_kind_validated():
+    def program(comm):
+        from repro.mpi.api import PersistentRequest
+        PersistentRequest(comm, "bad", 0, 0, 0, None, None)
+        yield from comm.barrier()
+
+    with pytest.raises(ValueError, match="bad persistent request kind"):
+        run_p(program, 2)

@@ -1,0 +1,126 @@
+"""MPI_Probe / MPI_Iprobe behaviour across stacks."""
+
+import pytest
+
+from repro import config
+from repro.mpi import ANY_SOURCE
+from repro.runtime import run_mpi
+
+
+def run2(program, spec=None, intra=False):
+    spec = spec or config.mpich2_nmad()
+    if intra:
+        return run_mpi(program, 2, spec,
+                       cluster=config.ClusterSpec(n_nodes=1), ranks_per_node=2)
+    return run_mpi(program, 2, spec, cluster=config.xeon_pair())
+
+
+SPECS = {
+    "direct": config.mpich2_nmad,
+    "netmod": config.mpich2_nmad_netmod,
+    "pioman": config.mpich2_nmad_pioman,
+    "native": config.mvapich2,
+}
+
+
+@pytest.mark.parametrize("flavor", list(SPECS))
+def test_iprobe_none_before_arrival(flavor):
+    def program(comm):
+        if comm.rank == 1:
+            hit = yield from comm.iprobe(src=0, tag="nothing-yet")
+            yield from comm.send(0, tag="go", size=4)
+            return hit
+        yield from comm.recv(src=1, tag="go")
+        return None
+
+    r = run2(program, spec=SPECS[flavor]())
+    assert r.result(1) is None
+
+
+@pytest.mark.parametrize("flavor", ["direct", "netmod", "native"])
+def test_iprobe_sees_arrived_message_without_consuming(flavor):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="look", size=777, data="intact")
+            return None
+        yield from comm.compute(100e-6)       # let it arrive
+        hit1 = yield from comm.iprobe(src=0, tag="look")
+        hit2 = yield from comm.iprobe(src=0, tag="look")
+        msg = yield from comm.recv(src=0, tag="look")
+        return (hit1, hit2, msg.data)
+
+    r = run2(program, spec=SPECS[flavor]())
+    hit1, hit2, data = r.result(1)
+    assert hit1 == (0, 777)
+    assert hit2 == (0, 777)  # probing does not consume
+    assert data == "intact"
+
+
+@pytest.mark.parametrize("flavor", list(SPECS))
+def test_blocking_probe_waits_for_message(flavor):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.compute(50e-6)
+            yield from comm.send(1, tag="eventually", size=123)
+            return None
+        hit = yield from comm.probe(src=0, tag="eventually")
+        assert comm.sim.now >= 50e-6
+        msg = yield from comm.recv(src=0, tag="eventually")
+        return (hit, msg.size)
+
+    r = run2(program, spec=SPECS[flavor]())
+    assert r.result(1) == ((0, 123), 123)
+
+
+def test_probe_any_source():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="who", size=55)
+            return None
+        hit = yield from comm.probe(src=ANY_SOURCE, tag="who")
+        msg = yield from comm.recv(src=hit[0], tag="who")
+        return (hit, msg.source)
+
+    r = run2(program)
+    assert r.result(1) == ((0, 55), 0)
+
+
+def test_probe_then_sized_recv_pattern():
+    """The classic probe-to-discover-size idiom."""
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="blob", size=4096, data=list(range(10)))
+            return None
+        src, size = yield from comm.probe(src=ANY_SOURCE, tag="blob")
+        msg = yield from comm.recv(src=src, tag="blob")
+        return (size, msg.size, msg.data)
+
+    r = run2(program)
+    assert r.result(1) == (4096, 4096, list(range(10)))
+
+
+def test_probe_intra_node():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="local", size=31)
+            return None
+        hit = yield from comm.probe(src=0, tag="local")
+        yield from comm.recv(src=0, tag="local")
+        return hit
+
+    r = run2(program, intra=True)
+    assert r.result(1) == (0, 31)
+
+
+def test_probe_rendezvous_message():
+    """Probing a large (RTS-parked) message reports its full size."""
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="big", size=1 << 20)
+            return None
+        hit = yield from comm.probe(src=0, tag="big")
+        msg = yield from comm.recv(src=0, tag="big")
+        return (hit, msg.size)
+
+    r = run2(program)
+    assert r.result(1) == ((0, 1 << 20), 1 << 20)

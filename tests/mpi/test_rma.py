@@ -1,0 +1,180 @@
+"""MPI-2 RMA extension: fence-synchronized put/get/accumulate."""
+
+import pytest
+
+from repro import config
+from repro.mpi.rma import Window
+from repro.runtime import run_mpi
+
+
+def run_rma(program, nprocs=2, spec=None, nodes=None):
+    spec = spec or config.mpich2_nmad()
+    cluster = config.ClusterSpec(n_nodes=nodes or nprocs)
+    return run_mpi(program, nprocs, spec, cluster=cluster)
+
+
+def test_put_visible_after_fence():
+    def program(comm):
+        win = Window(comm, nslots=2, init="empty")
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(1, slot=1, size=1024, data="written")
+        yield from win.fence()
+        return win.read(1)
+
+    r = run_rma(program)
+    assert r.result(1) == "written"
+    assert r.result(0) == "empty"
+
+
+def test_get_reads_remote_slot():
+    def program(comm):
+        win = Window(comm, nslots=1, init=f"data-of-{comm.rank}")
+        yield from win.fence()
+        handle = None
+        if comm.rank == 0:
+            handle = win.get(1, slot=0, size=512)
+            assert not handle.complete  # not yet: fills at the fence
+        yield from win.fence()
+        return handle.value if handle else None
+
+    r = run_rma(program)
+    assert r.result(0) == "data-of-1"
+
+
+def test_accumulate_combines_contributions():
+    def program(comm):
+        win = Window(comm, nslots=1, init=0)
+        yield from win.fence()
+        yield from win.accumulate(0, slot=0, size=8, data=comm.rank + 1,
+                                  op=lambda a, b: a + b)
+        yield from win.fence()
+        return win.read(0)
+
+    r = run_rma(program, nprocs=4)
+    assert r.result(0) == 10  # 1+2+3+4
+
+
+def test_local_put_and_get():
+    def program(comm):
+        win = Window(comm, nslots=1, init=None)
+        yield from win.fence()
+        yield from win.put(comm.rank, slot=0, size=64, data="self")
+        handle = win.get(comm.rank, slot=0, size=64)
+        assert handle.complete
+        yield from win.fence()
+        return (win.read(0), handle.value)
+
+    r = run_rma(program, nprocs=2)
+    assert r.result(0) == ("self", "self")
+
+
+def test_multiple_epochs_are_independent():
+    def program(comm):
+        win = Window(comm, nslots=1, init=0)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(1, slot=0, size=64, data="first")
+        yield from win.fence()
+        seen_first = win.read(0)
+        if comm.rank == 0:
+            yield from win.put(1, slot=0, size=64, data="second")
+        yield from win.fence()
+        return (seen_first, win.read(0))
+
+    r = run_rma(program)
+    assert r.result(1) == ("first", "second")
+
+
+def test_puts_from_many_origins():
+    def program(comm):
+        win = Window(comm, nslots=comm.size, init=None)
+        yield from win.fence()
+        if comm.rank != 0:
+            yield from win.put(0, slot=comm.rank, size=256,
+                               data=f"from-{comm.rank}")
+        yield from win.fence()
+        return list(win._slots)
+
+    r = run_rma(program, nprocs=4)
+    assert r.result(0) == [None, "from-1", "from-2", "from-3"]
+
+
+def test_large_put_uses_rendezvous_path():
+    def program(comm):
+        win = Window(comm, nslots=1)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(1, slot=0, size=4 << 20, data="huge")
+        yield from win.fence()
+        return win.read(0)
+
+    r = run_rma(program)
+    assert r.result(1) == "huge"
+
+
+def test_rma_on_shared_memory_ranks():
+    def program(comm):
+        win = Window(comm, nslots=1)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(1, slot=0, size=128, data="local-put")
+        yield from win.fence()
+        return win.read(0)
+
+    r = run_mpi(program, 2, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=1), ranks_per_node=2)
+    assert r.result(1) == "local-put"
+
+
+def test_rma_under_pioman():
+    def program(comm):
+        win = Window(comm, nslots=1, init=0)
+        yield from win.fence()
+        yield from win.accumulate(0, slot=0, size=8, data=1,
+                                  op=lambda a, b: a + b)
+        yield from win.fence()
+        return win.read(0)
+
+    r = run_rma(program, nprocs=3, spec=config.mpich2_nmad_pioman())
+    assert r.result(0) == 3
+
+
+def test_op_outside_epoch_rejected():
+    def program(comm):
+        win = Window(comm, nslots=1)
+        yield from win.put(1 - comm.rank, slot=0, size=8, data="x")
+
+    with pytest.raises(RuntimeError, match="outside a fence epoch"):
+        run_rma(program)
+
+
+def test_bad_target_and_slot_rejected():
+    def program(comm):
+        win = Window(comm, nslots=1)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(9, slot=0, size=8)
+        yield from win.fence()
+
+    with pytest.raises(ValueError, match="target rank"):
+        run_rma(program)
+
+    def program2(comm):
+        win = Window(comm, nslots=1)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(1, slot=5, size=8)
+        yield from win.fence()
+
+    with pytest.raises(ValueError, match="slot"):
+        run_rma(program2)
+
+
+def test_window_needs_slots():
+    def program(comm):
+        Window(comm, nslots=0)
+        yield from comm.barrier()
+
+    with pytest.raises(ValueError, match="at least one slot"):
+        run_rma(program)

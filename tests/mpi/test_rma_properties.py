@@ -1,0 +1,72 @@
+"""Property-based tests on the RMA extension: random op schedules vs oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import config
+from repro.mpi.rma import Window
+from repro.runtime import run_mpi
+
+
+# each op: (origin, kind, target, slot, value)
+op_strategy = st.tuples(
+    st.integers(0, 2),                       # origin rank
+    st.sampled_from(["put", "acc"]),
+    st.integers(0, 2),                       # target rank
+    st.integers(0, 1),                       # slot
+    st.integers(-50, 50),                    # value
+)
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_random_rma_schedule_matches_oracle(ops):
+    """One epoch of random puts/accumulates equals a sequential oracle.
+
+    Puts racing on the same (target, slot) are unordered in MPI; to keep
+    the oracle exact we drop conflicting puts (accumulates commute, so
+    any number of them may share a slot with at most zero puts).
+    """
+    filtered = []
+    put_slots = set()
+    acc_slots = set()
+    for op in ops:
+        _origin, kind, target, slot, _v = op
+        key = (target, slot)
+        if kind == "put":
+            if key in put_slots or key in acc_slots:
+                continue
+            put_slots.add(key)
+        else:
+            if key in put_slots:
+                continue
+            acc_slots.add(key)
+        filtered.append(op)
+
+    # oracle: apply ops to a model of the windows
+    model = {(rank, slot): 0 for rank in range(3) for slot in range(2)}
+    for _origin, kind, target, slot, value in filtered:
+        if kind == "put":
+            model[(target, slot)] = value
+        else:
+            model[(target, slot)] += value
+
+    def program(comm):
+        win = Window(comm, nslots=2, init=0)
+        yield from win.fence()
+        for origin, kind, target, slot, value in filtered:
+            if origin != comm.rank:
+                continue
+            if kind == "put":
+                yield from win.put(target, slot=slot, size=64, data=value)
+            else:
+                yield from win.accumulate(target, slot=slot, size=64,
+                                          data=value, op=lambda a, b: a + b)
+        yield from win.fence()
+        return list(win._slots)
+
+    r = run_mpi(program, 3, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=3))
+    for rank in range(3):
+        for slot in range(2):
+            assert r.result(rank)[slot] == model[(rank, slot)], (
+                f"rank {rank} slot {slot}: {filtered}")

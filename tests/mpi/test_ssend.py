@@ -1,0 +1,124 @@
+"""Synchronous sends (MPI_Ssend/Issend): completion implies matching."""
+
+import pytest
+
+from repro import config
+from repro.runtime import run_mpi
+
+
+def run2(program, spec=None, intra=False, nprocs=2):
+    spec = spec or config.mpich2_nmad()
+    if intra:
+        return run_mpi(program, nprocs, spec,
+                       cluster=config.ClusterSpec(n_nodes=1),
+                       ranks_per_node=nprocs)
+    return run_mpi(program, nprocs, spec, cluster=config.xeon_pair())
+
+
+SPECS = {
+    "direct": config.mpich2_nmad,
+    "netmod": config.mpich2_nmad_netmod,
+    "pioman": config.mpich2_nmad_pioman,
+    "native": config.mvapich2,
+}
+
+
+@pytest.mark.parametrize("flavor", list(SPECS))
+def test_ssend_delivers_data(flavor):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.ssend(1, tag=0, size=128, data="sync")
+            return None
+        msg = yield from comm.recv(src=0, tag=0)
+        return msg.data
+
+    r = run2(program, spec=SPECS[flavor]())
+    assert r.result(1) == "sync"
+
+
+@pytest.mark.parametrize("flavor", ["direct", "netmod", "native"])
+def test_ssend_blocks_until_receiver_posts(flavor):
+    """The defining semantics: a small ssend cannot complete before the
+    matching receive is posted, unlike a buffered eager send."""
+    delay = 200e-6
+
+    def program(comm):
+        if comm.rank == 0:
+            t0 = comm.sim.now
+            yield from comm.ssend(1, tag="sync", size=64)
+            return comm.sim.now - t0
+        yield from comm.compute(delay)
+        yield from comm.recv(src=0, tag="sync")
+        return None
+
+    r = run2(program, spec=SPECS[flavor]())
+    assert r.result(0) >= delay * 0.95
+
+
+def test_plain_send_does_not_block_on_late_receiver():
+    delay = 200e-6
+
+    def program(comm):
+        if comm.rank == 0:
+            t0 = comm.sim.now
+            yield from comm.send(1, tag="eager", size=64)
+            return comm.sim.now - t0
+        yield from comm.compute(delay)
+        yield from comm.recv(src=0, tag="eager")
+        return None
+
+    r = run2(program)
+    assert r.result(0) < delay / 2  # buffered eager completes locally
+
+
+def test_ssend_intra_node_blocks_until_match():
+    delay = 150e-6
+
+    def program(comm):
+        if comm.rank == 0:
+            t0 = comm.sim.now
+            yield from comm.ssend(1, tag="ls", size=64, data="x")
+            return comm.sim.now - t0
+        yield from comm.compute(delay)
+        msg = yield from comm.recv(src=0, tag="ls")
+        return msg.data
+
+    r = run2(program, intra=True)
+    assert r.result(0) >= delay * 0.95
+    assert r.result(1) == "x"
+
+
+def test_issend_overlappable():
+    """Issend returns immediately; the wait carries the sync semantics."""
+    def program(comm):
+        if comm.rank == 0:
+            req = yield from comm.issend(1, tag="is", size=64)
+            assert not req.complete
+            yield from comm.compute(10e-6)
+            yield from comm.wait(req)
+            return comm.sim.now
+        yield from comm.recv(src=0, tag="is")
+        return None
+
+    r = run2(program)
+    assert r.result(0) > 0
+
+
+def test_ssend_large_message_equivalent_to_send():
+    """Above the eager threshold both use rendezvous anyway."""
+    def make(sync):
+        def program(comm):
+            t0 = comm.sim.now
+            if comm.rank == 0:
+                if sync:
+                    yield from comm.ssend(1, tag=0, size=1 << 20)
+                else:
+                    yield from comm.send(1, tag=0, size=1 << 20)
+            else:
+                yield from comm.recv(src=0, tag=0)
+            return comm.sim.now - t0
+        return program
+
+    t_send = run2(make(False)).result(1)
+    t_ssend = run2(make(True)).result(1)
+    assert t_ssend == pytest.approx(t_send, rel=0.01)

@@ -1,0 +1,31 @@
+"""Helpers to run rank programs under the MPICH2 stacks."""
+
+import pytest
+
+from repro import config
+from repro.runtime import run_mpi
+
+
+def run2(program, spec=None, nprocs=2, cluster=None, ranks_per_node=None,
+         trace=None):
+    """Run a program on two (or more) ranks, one per node by default."""
+    spec = spec or config.mpich2_nmad()
+    cluster = cluster or config.xeon_pair()
+    return run_mpi(program, nprocs, spec, cluster=cluster,
+                   ranks_per_node=ranks_per_node, trace=trace)
+
+
+def run_intra(program, spec=None, nprocs=2):
+    """Run all ranks on a single node (shared-memory paths)."""
+    spec = spec or config.mpich2_nmad()
+    return run_mpi(program, nprocs, spec,
+                   cluster=config.ClusterSpec(n_nodes=1),
+                   ranks_per_node=nprocs)
+
+
+@pytest.fixture(params=["direct", "netmod"])
+def ch3_spec(request):
+    """Both CH3 configurations, for behaviour shared across them."""
+    if request.param == "direct":
+        return config.mpich2_nmad()
+    return config.mpich2_nmad_netmod()

@@ -1,0 +1,164 @@
+"""The ANY_SOURCE machinery of paper Fig. 3 (CH3-direct path)."""
+
+import pytest
+
+from repro import config
+from repro.mpi import ANY_SOURCE
+
+from tests.mpich2.conftest import run2, run_intra
+
+
+def test_any_source_matches_remote_sender():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="as", size=64, data="remote")
+            return None
+        msg = yield from comm.recv(src=ANY_SOURCE, tag="as")
+        return (msg.source, msg.data)
+
+    r = run2(program)
+    assert r.result(1) == (0, "remote")
+
+
+def test_any_source_matches_local_sender():
+    """Fig. 3: an intra-node match removes the pending entry."""
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="as", size=64, data="local")
+            return None
+        msg = yield from comm.recv(src=ANY_SOURCE, tag="as")
+        return (msg.source, msg.data)
+
+    r = run_intra(program)
+    assert r.result(1) == (0, "local")
+
+
+def test_any_source_posted_before_message_arrives():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.compute(50e-6)
+            yield from comm.send(1, tag="late", size=32, data="eventually")
+            return None
+        msg = yield from comm.recv(src=ANY_SOURCE, tag="late")
+        return msg.data
+
+    r = run2(program)
+    assert r.result(1) == "eventually"
+
+
+def test_any_source_message_already_unexpected():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="early", size=32, data="waiting")
+            return None
+        yield from comm.compute(100e-6)  # message arrives first
+        msg = yield from comm.recv(src=ANY_SOURCE, tag="early")
+        return msg.data
+
+    r = run2(program)
+    assert r.result(1) == "waiting"
+
+
+def test_any_source_large_message_rendezvous():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="bigas", size=1 << 20, data="huge")
+            return None
+        msg = yield from comm.recv(src=ANY_SOURCE, tag="bigas")
+        return (msg.source, msg.size, msg.data)
+
+    r = run2(program)
+    assert r.result(1) == (0, 1 << 20, "huge")
+
+
+def test_any_source_from_multiple_senders():
+    def program(comm):
+        if comm.rank == 0:
+            out = []
+            for _ in range(3):
+                msg = yield from comm.recv(src=ANY_SOURCE, tag="many")
+                out.append(msg.source)
+            return sorted(out)
+        yield from comm.compute(comm.rank * 10e-6)
+        yield from comm.send(0, tag="many", size=16, data=comm.rank)
+        return None
+
+    r = run2(program, nprocs=4, cluster=config.ClusterSpec(n_nodes=4))
+    assert r.result(0) == [1, 2, 3]
+
+
+def test_regular_recv_deferred_behind_any_source():
+    """A known-source recv posted after an AS with the same tag must not
+    steal the AS's message (MPI matching order, Fig. 3 sublists)."""
+    def program(comm):
+        if comm.rank == 0:
+            # two messages, same tag: the first must match the AS recv
+            yield from comm.send(1, tag="order", size=16, data="first")
+            yield from comm.send(1, tag="order", size=16, data="second")
+            return None
+        as_req = yield from comm.irecv(src=ANY_SOURCE, tag="order")
+        reg_req = yield from comm.irecv(src=0, tag="order")
+        as_msg = yield from comm.wait(as_req)
+        reg_msg = yield from comm.wait(reg_req)
+        return (as_msg.data, reg_msg.data)
+
+    r = run2(program)
+    assert r.result(1) == ("first", "second")
+
+
+def test_multiple_any_source_same_tag():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="dup", size=16, data="a")
+            yield from comm.send(1, tag="dup", size=16, data="b")
+            return None
+        r1 = yield from comm.irecv(src=ANY_SOURCE, tag="dup")
+        r2 = yield from comm.irecv(src=ANY_SOURCE, tag="dup")
+        m1 = yield from comm.wait(r1)
+        m2 = yield from comm.wait(r2)
+        return (m1.data, m2.data)
+
+    r = run2(program)
+    assert r.result(1) == ("a", "b")
+
+
+def test_any_source_different_tags_independent():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag="t2", size=16, data="two")
+            yield from comm.compute(20e-6)
+            yield from comm.send(1, tag="t1", size=16, data="one")
+            return None
+        r1 = yield from comm.irecv(src=ANY_SOURCE, tag="t1")
+        r2 = yield from comm.irecv(src=ANY_SOURCE, tag="t2")
+        m1 = yield from comm.wait(r1)
+        m2 = yield from comm.wait(r2)
+        return (m1.data, m2.data)
+
+    r = run2(program)
+    assert r.result(1) == ("one", "two")
+
+
+def test_any_source_latency_penalty_constant():
+    """Fig. 4a: the AS path costs a constant ~300 ns, size-independent."""
+    from repro.workloads.netpipe import run_netpipe
+
+    cluster = config.xeon_pair()
+    spec = config.mpich2_nmad()
+    base = run_netpipe(spec, cluster, [4, 512], reps=5)
+    with_as = run_netpipe(spec, cluster, [4, 512], reps=5, anysource=True)
+    gap_small = with_as.latencies[0] - base.latencies[0]
+    gap_big = with_as.latencies[1] - base.latencies[1]
+    assert gap_small == pytest.approx(0.3e-6, abs=0.15e-6)
+    assert gap_big == pytest.approx(gap_small, abs=0.05e-6)
+
+
+def test_netmod_any_source_has_no_penalty():
+    """Wildcards are native to CH3's central queues on the netmod path."""
+    from repro.workloads.netpipe import run_netpipe
+
+    cluster = config.xeon_pair()
+    spec = config.mpich2_nmad_netmod()
+    base = run_netpipe(spec, cluster, [4], reps=5)
+    with_as = run_netpipe(spec, cluster, [4], reps=5, anysource=True)
+    assert with_as.latencies[0] == pytest.approx(base.latencies[0], rel=0.02)

@@ -1,0 +1,155 @@
+"""Nemesis cell-queue mechanics: finite pools, backpressure, recycling."""
+
+import pytest
+
+from repro import config
+from repro.hardware.params import MemParams
+from repro.mpich2.nemesis.queue import CellPool
+from repro.mpich2.nemesis.shm import NemesisShm, ShmCosts
+from repro.runtime import MPIRuntime, run_mpi
+from repro.simulator import Simulator
+
+
+# ---------------------------------------------------------------------------
+# pool unit tests
+# ---------------------------------------------------------------------------
+
+def test_pool_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CellPool(sim, n_cells=1)
+    with pytest.raises(ValueError):
+        CellPool(sim, cell_size=0)
+
+
+def test_cells_needed_rounds_up_and_caps():
+    sim = Simulator()
+    pool = CellPool(sim, n_cells=16, cell_size=1024)
+    assert pool.cells_needed(1) == 1
+    assert pool.cells_needed(1024) == 1
+    assert pool.cells_needed(1025) == 2
+    # streaming cap at half the pool
+    assert pool.cells_needed(1024 * 1024) == 8
+
+
+def test_acquire_and_release_cycle():
+    sim = Simulator()
+    pool = CellPool(sim, n_cells=8, cell_size=100)
+
+    def proc():
+        alloc = yield from pool.acquire(250)   # 3 cells
+        assert pool.free_cells == 5
+        alloc.release()
+        assert pool.free_cells == 8
+        alloc.release()                        # idempotent
+        assert pool.free_cells == 8
+
+    sim.spawn(proc())
+    sim.run()
+
+
+def test_exhausted_pool_blocks_until_release():
+    sim = Simulator()
+    pool = CellPool(sim, n_cells=2, cell_size=100)
+    log = []
+
+    def first():
+        a1 = yield from pool.acquire(100)      # one cell each
+        a2 = yield from pool.acquire(100)      # pool now empty
+        yield sim.timeout(5e-6)
+        a1.release()
+        a2.release()
+
+    def second():
+        yield sim.timeout(1e-6)               # pool is empty now
+        alloc = yield from pool.acquire(100)
+        log.append(sim.now)
+        alloc.release()
+
+    sim.spawn(first())
+    sim.spawn(second())
+    sim.run()
+    assert log[0] >= 5e-6
+    assert pool.exhaustion_stalls >= 1
+
+
+# ---------------------------------------------------------------------------
+# shm integration
+# ---------------------------------------------------------------------------
+
+def test_shm_sender_blocks_when_receiver_never_polls():
+    """A flood of unconsumed messages exhausts the sender's free queue;
+    the sender stalls — Nemesis flow control."""
+    sim = Simulator()
+    shm = NemesisShm(sim, MemParams(), ShmCosts(n_cells=4))
+    shm.register(0, lambda m: None)
+    shm.register(1, lambda m: None)   # never releases cells
+    progress = []
+
+    def flood():
+        for i in range(10):
+            yield from shm.send(0, 1, env=i, size=64)
+            progress.append(i)
+
+    sim.spawn(flood())
+    sim.run()
+    assert len(progress) == 4          # stalled after the pool drained
+    assert shm.pool(0).free_cells == 0
+
+
+def test_mpi_flood_survives_thanks_to_receiver_polling():
+    """Through the full stack the receiver's polling recycles cells, so
+    a 200-message flood (>> 64 cells) completes."""
+    n = 200
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(n):
+                yield from comm.send(1, tag="flood", size=256, data=i)
+            return None
+        yield from comm.compute(50e-6)   # let the flood hit the cell limit
+        out = []
+        for _ in range(n):
+            msg = yield from comm.recv(src=0, tag="flood")
+            out.append(msg.data)
+        return out
+
+    r = run_mpi(program, 2, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=1), ranks_per_node=2)
+    assert r.result(1) == list(range(n))
+
+
+def test_cells_returned_after_mpi_receive():
+    rt = MPIRuntime(2, config.mpich2_nmad(),
+                    cluster=config.ClusterSpec(n_nodes=1), ranks_per_node=2)
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(1, tag=i, size=1024)
+        else:
+            for i in range(5):
+                yield from comm.recv(src=0, tag=i)
+
+    rt.run(program)
+    shm = rt.shms[0]
+    assert shm.pool(0).free_cells == shm.costs.n_cells
+    assert shm.pool(1).free_cells == shm.costs.n_cells
+
+
+def test_backpressure_measurable_in_stall_counter():
+    spec = config.mpich2_nmad().with_(shm_costs=ShmCosts(n_cells=4))
+    rt = MPIRuntime(2, spec, cluster=config.ClusterSpec(n_nodes=1),
+                    ranks_per_node=2)
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(20):
+                yield from comm.send(1, tag="x", size=256, data=i)
+            return None
+        yield from comm.compute(1e-3)    # ignore the flood for a while
+        for _ in range(20):
+            yield from comm.recv(src=0, tag="x")
+
+    rt.run(program)
+    assert rt.shms[0].pool(0).exhaustion_stalls > 0

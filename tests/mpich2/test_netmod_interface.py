@@ -1,0 +1,99 @@
+"""The four-routine network-module interface (paper Section 2.1.2)."""
+
+import pytest
+
+from repro import config
+from repro.mpich2.nemesis.netmod import CH3_CHANNEL_TAG, NewmadNetmod
+from repro.runtime import MPIRuntime
+
+from tests.mpich2.conftest import run2
+
+
+def test_netmod_stack_owns_a_module():
+    rt = MPIRuntime(2, config.mpich2_nmad_netmod(), cluster=config.xeon_pair())
+    assert isinstance(rt.stacks[0].netmod, NewmadNetmod)
+    assert rt.stacks[0].netmod._initialized
+
+
+def test_direct_stack_has_no_module():
+    rt = MPIRuntime(2, config.mpich2_nmad(), cluster=config.xeon_pair())
+    assert rt.stacks[0].netmod is None
+
+
+def test_module_counts_packets():
+    rt = MPIRuntime(2, config.mpich2_nmad_netmod(), cluster=config.xeon_pair())
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(3):
+                yield from comm.send(1, tag=i, size=128)
+        else:
+            for i in range(3):
+                yield from comm.recv(src=0, tag=i)
+
+    rt.run(program)
+    assert rt.stacks[0].netmod.packets_sent == 3
+    assert rt.stacks[1].netmod.packets_received == 3
+
+
+def test_module_counts_handshake_packets_for_large_messages():
+    rt = MPIRuntime(2, config.mpich2_nmad_netmod(), cluster=config.xeon_pair())
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=1 << 20)
+        else:
+            yield from comm.recv(src=0, tag=0)
+
+    rt.run(program)
+    # sender ships CH3-RTS; receiver ships CH3-CTS through its module
+    assert rt.stacks[0].netmod.packets_sent == 1
+    assert rt.stacks[1].netmod.packets_sent == 1
+    assert rt.stacks[0].netmod.packets_received == 1  # the CTS
+
+
+def test_finalize_reports_stats():
+    rt = MPIRuntime(2, config.mpich2_nmad_netmod(), cluster=config.xeon_pair())
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=64)
+        else:
+            yield from comm.recv(src=0, tag=0)
+
+    rt.run(program)
+    stats = rt.stacks[0].netmod.net_module_finalize()
+    assert stats == {"sent": 1, "received": 0}
+    assert not rt.stacks[0].netmod._initialized
+
+
+def test_uninitialized_module_rejected():
+    rt = MPIRuntime(2, config.mpich2_nmad_netmod(), cluster=config.xeon_pair())
+    mod = rt.stacks[0].netmod
+    mod.net_module_finalize()
+
+    def use():
+        yield from mod.net_module_send(1, 8, ("eager", None, 0))
+
+    rt.sim.spawn(use())
+    with pytest.raises(RuntimeError, match="before net_module_init"):
+        rt.sim.run()
+
+
+def test_channel_tag_shared_by_all_sources():
+    """The module funnels every CH3 packet through one nmad tag — the
+    'can't use the library's tag matching' limitation of Section 2.1.3."""
+    assert CH3_CHANNEL_TAG == "ch3"
+
+    def program(comm):
+        if comm.rank == 2:
+            a = yield from comm.recv(src=0, tag="x")
+            b = yield from comm.recv(src=1, tag="y")
+            return (a.data, b.data)
+        yield from comm.send(2, tag="x" if comm.rank == 0 else "y",
+                             size=64, data=f"from{comm.rank}")
+        return None
+
+    r = run2(program, spec=config.mpich2_nmad_netmod(), nprocs=3,
+             cluster=config.ClusterSpec(n_nodes=3))
+    assert r.result(2) == ("from0", "from1")

@@ -1,0 +1,110 @@
+"""Unit tests for the Nemesis shared-memory queue model."""
+
+import pytest
+
+from repro.hardware.params import MemParams
+from repro.mpich2.nemesis.shm import NemesisShm, ShmCosts
+from repro.simulator import Simulator
+
+
+def make_shm(**costs):
+    sim = Simulator()
+    shm = NemesisShm(sim, MemParams(), ShmCosts(**costs))
+    return sim, shm
+
+
+def test_register_and_deliver():
+    sim, shm = make_shm()
+    got = []
+    shm.register(0, lambda m: None)
+    shm.register(1, got.append)
+
+    def sender():
+        yield from shm.send(0, 1, env="hello", size=100)
+
+    sim.spawn(sender())
+    sim.run()
+    assert len(got) == 1
+    assert got[0].env == "hello"
+    assert got[0].src_rank == 0
+
+
+def test_duplicate_registration_rejected():
+    sim, shm = make_shm()
+    shm.register(0, lambda m: None)
+    with pytest.raises(ValueError):
+        shm.register(0, lambda m: None)
+
+
+def test_send_to_unknown_rank_rejected():
+    sim, shm = make_shm()
+    shm.register(0, lambda m: None)
+
+    def sender():
+        yield from shm.send(0, 9, env=None, size=1)
+
+    sim.spawn(sender())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_sender_cost_scales_with_size():
+    sim, shm = make_shm()
+    shm.register(0, lambda m: None)
+    shm.register(1, lambda m: None)
+    end = []
+
+    def sender(size):
+        yield from shm.send(0, 1, env=None, size=size)
+        end.append(sim.now)
+
+    sim.spawn(sender(1_000_000))
+    sim.run()
+    # copy of 1 MB at 2.5 GB/s dominates: >= 400 us
+    assert end[0] >= 1_000_000 / 2.5e9
+
+
+def test_cells_for_large_messages():
+    sim, shm = make_shm(cell_size=1024)
+    assert shm.cells_for(1) == 1
+    assert shm.cells_for(1024) == 1
+    assert shm.cells_for(1025) == 2
+    assert shm.cells_for(10 * 1024) == 10
+
+
+def test_per_cell_overhead_charged():
+    sim, shm = make_shm(cell_size=1024, enqueue_cost=1e-6)
+    shm.register(0, lambda m: None)
+    shm.register(1, lambda m: None)
+    end = []
+
+    def sender():
+        yield from shm.send(0, 1, env=None, size=4096)
+        end.append(sim.now)
+
+    sim.spawn(sender())
+    sim.run()
+    assert end[0] >= 4e-6  # four cells x 1 us
+
+
+def test_recv_cost_includes_copy():
+    sim, shm = make_shm()
+    small = shm.recv_cost(8)
+    large = shm.recv_cost(1 << 20)
+    assert large > small
+    assert large >= (1 << 20) / 2.5e9
+
+
+def test_delivery_is_in_fifo_order():
+    sim, shm = make_shm()
+    got = []
+    shm.register(0, lambda m: None)
+    shm.register(1, lambda m: got.append(m.env))
+
+    def sender():
+        for i in range(5):
+            yield from shm.send(0, 1, env=i, size=10)
+
+    sim.spawn(sender())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]

@@ -1,0 +1,49 @@
+"""Shared fixtures: a two-node NewMadeleine world over one or two rails."""
+
+import pytest
+
+from repro.hardware import MemoryRegistrar, build_cluster, presets
+from repro.nmad import NmadCore, NmadCosts, SendRecvInterface
+from repro.nmad.drivers import make_ib_driver, make_mx_driver
+from repro.nmad.strategies import make_strategy
+from repro.simulator import Simulator
+
+
+class NmadWorld:
+    """Two standalone NewMadeleine processes (one per node)."""
+
+    def __init__(self, rails=("ib",), strategy="aggreg", costs=None, cache=False):
+        self.sim = Simulator()
+        rail_params = {
+            "ib": presets.IB_CONNECTX,
+            "mx": presets.MX_MYRI10G,
+        }
+        self.cluster = build_cluster(
+            self.sim, 2, presets.XEON_NODE, [rail_params[r] for r in rails]
+        )
+        self.cores = []
+        self.ifaces = []
+        for rank in (0, 1):
+            node = self.cluster.node(rank)
+            core = NmadCore(
+                self.sim, rank, rank,
+                mem=node.mem,
+                registrar=node.make_registrar(cache=cache),
+                costs=costs or NmadCosts(),
+            )
+            for rail in rails:
+                maker = make_ib_driver if rail == "ib" else make_mx_driver
+                core.add_driver(maker(node.nics[rail]))
+            core.set_strategy(make_strategy(strategy, core))
+            self.cores.append(core)
+            self.ifaces.append(SendRecvInterface(self.sim, core))
+
+
+@pytest.fixture
+def world():
+    return NmadWorld()
+
+
+@pytest.fixture
+def multirail_world():
+    return NmadWorld(rails=("ib", "mx"), strategy="split_balance")

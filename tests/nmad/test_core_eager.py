@@ -1,0 +1,193 @@
+"""Eager-protocol behaviour of the NewMadeleine core."""
+
+import pytest
+
+from repro.nmad.core import ANY, ProtocolError
+
+
+def run_transfer(world, size, tag="t", data=None):
+    """One send 0->1, returning (send_req, recv_req, elapsed)."""
+    sim = world.sim
+    tx, rx = world.ifaces
+
+    def sender():
+        req = yield from tx.nm_sr_isend(1, tag, data, size)
+        yield from tx.nm_sr_rwait(req)
+        return req
+
+    def receiver():
+        req = yield from rx.nm_sr_irecv(0, tag, size)
+        yield from rx.nm_sr_rwait(req)
+        return req
+
+    s = sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run()
+    return s.value, r.value, sim.now
+
+
+def test_small_message_delivered(world):
+    sreq, rreq, _ = run_transfer(world, 64, data=b"x" * 64)
+    assert sreq.complete and rreq.complete
+    assert rreq.data == b"x" * 64
+    assert rreq.size == 64
+
+
+def test_payload_object_passes_through(world):
+    payload = {"k": [1, 2, 3]}
+    _, rreq, _ = run_transfer(world, 100, data=payload)
+    assert rreq.data is payload
+
+
+def test_eager_latency_close_to_calibration(world):
+    """nmad raw latency over IB should be ~1.8 us (paper Section 4.1.1)."""
+    _, _, elapsed = run_transfer(world, 4)
+    assert elapsed == pytest.approx(1.8e-6, rel=0.15)
+
+
+def test_unexpected_message_then_late_recv(world):
+    sim = world.sim
+    tx, rx = world.ifaces
+
+    def sender():
+        req = yield from tx.nm_sr_isend(1, "u", b"data", 4)
+        yield from tx.nm_sr_rwait(req)
+
+    def receiver():
+        yield sim.timeout(100e-6)  # message arrives long before this
+        req = yield from rx.nm_sr_irecv(0, "u", 4)
+        yield from rx.nm_sr_rwait(req)
+        return (req.data, sim.now)
+
+    sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run()
+    data, t = r.value
+    assert data == b"data"
+    assert t >= 100e-6
+
+
+def test_messages_match_in_order_same_tag(world):
+    sim = world.sim
+    tx, rx = world.ifaces
+    n = 5
+
+    def sender():
+        reqs = []
+        for i in range(n):
+            req = yield from tx.nm_sr_isend(1, "seq", f"msg{i}", 8)
+            reqs.append(req)
+        for req in reqs:
+            yield from tx.nm_sr_rwait(req)
+
+    def receiver():
+        out = []
+        for _ in range(n):
+            req = yield from rx.nm_sr_irecv(0, "seq", 8)
+            yield from rx.nm_sr_rwait(req)
+            out.append(req.data)
+        return out
+
+    sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run()
+    assert r.value == [f"msg{i}" for i in range(n)]
+
+
+def test_tags_matched_independently(world):
+    sim = world.sim
+    tx, rx = world.ifaces
+
+    def sender():
+        r1 = yield from tx.nm_sr_isend(1, "a", "on-a", 8)
+        r2 = yield from tx.nm_sr_isend(1, "b", "on-b", 8)
+        yield from tx.nm_sr_rwait(r1)
+        yield from tx.nm_sr_rwait(r2)
+
+    def receiver():
+        # post in the opposite tag order
+        rb = yield from rx.nm_sr_irecv(0, "b", 8)
+        ra = yield from rx.nm_sr_irecv(0, "a", 8)
+        yield from rx.nm_sr_rwait(rb)
+        yield from rx.nm_sr_rwait(ra)
+        return (ra.data, rb.data)
+
+    sim.spawn(sender())
+    r = sim.spawn(receiver())
+    sim.run()
+    assert r.value == ("on-a", "on-b")
+
+
+def test_probe_sees_unexpected(world):
+    sim = world.sim
+    tx, rx = world.ifaces
+
+    def sender():
+        req = yield from tx.nm_sr_isend(1, "p", b"??", 2)
+        yield from tx.nm_sr_rwait(req)
+
+    def prober():
+        yield sim.timeout(50e-6)
+        return world.cores[1].probe("p")
+
+    sim.spawn(sender())
+    r = sim.spawn(prober())
+    sim.run()
+    assert r.value == (0, 2)
+
+
+def test_probe_returns_none_without_message(world):
+    assert world.cores[1].probe("nothing") is None
+
+
+def test_probe_with_specific_source(world):
+    sim = world.sim
+    tx, rx = world.ifaces
+
+    def sender():
+        req = yield from tx.nm_sr_isend(1, "s", b"z", 1)
+        yield from tx.nm_sr_rwait(req)
+
+    sim.spawn(sender())
+    sim.run()
+    assert world.cores[1].probe("s", src=0) == (0, 1)
+    assert world.cores[1].probe("s", src=5) is None
+
+
+def test_irecv_any_source_rejected(world):
+    def bad():
+        yield from world.cores[1].irecv(ANY, "t")
+
+    world.sim.spawn(bad())
+    with pytest.raises(ProtocolError):
+        world.sim.run()
+
+
+def test_request_cancellation_unsupported(world):
+    sim = world.sim
+
+    def receiver():
+        req = yield from world.ifaces[1].nm_sr_irecv(0, "never", 8)
+        return req
+
+    r = sim.spawn(receiver())
+    sim.run()
+    with pytest.raises(NotImplementedError):
+        r.value.cancel()
+
+
+def test_send_complete_at_local_injection_before_recv_posted(world):
+    """Eager sends complete locally even if the receiver never posts."""
+    sim = world.sim
+    tx, _ = world.ifaces
+
+    def sender():
+        req = yield from tx.nm_sr_isend(1, "orphan", b"x", 1)
+        yield from tx.nm_sr_rwait(req)
+        return sim.now
+
+    s = sim.spawn(sender())
+    sim.run()
+    assert s.value < 5e-6
+    # message sits in the peer's unexpected list
+    assert world.cores[1].probe("orphan") == (0, 1)

@@ -1,0 +1,156 @@
+"""Unit tests for the PIOMan manager."""
+
+import pytest
+
+from repro.hardware.params import NodeParams
+from repro.pioman import PIOMan, PIOManParams
+from repro.simulator import Simulator
+from repro.threads import MarcelScheduler
+
+
+def make_pioman(cores=2, **param_overrides):
+    sim = Simulator()
+    sched = MarcelScheduler(sim, NodeParams(cores=cores))
+    params = PIOManParams(**param_overrides)
+    return sim, sched, PIOMan(sim, sched, params)
+
+
+def test_ltask_runs_in_background_with_idle_core():
+    sim, sched, pm = make_pioman(cores=2, poll_period=1e-6, ltask_cost=0.1e-6)
+    ran = []
+
+    def work():
+        yield sim.timeout(2e-6)
+        ran.append(sim.now)
+
+    pm.submit(work)
+    sim.run()
+    # poll_period + ltask_cost + work duration
+    assert ran == [pytest.approx(3.1e-6)]
+    assert pm.ltasks_run == 1
+
+
+def test_ltask_waits_for_core_when_fully_loaded():
+    sim, sched, pm = make_pioman(cores=1, poll_period=1e-6, ltask_cost=0.0)
+    ran = []
+
+    def hog():
+        yield sched.acquire_core()
+        yield from sched.compute(100e-6)
+        sched.release_core()
+
+    def work():
+        ran.append(sim.now)
+        yield sim.timeout(0)
+
+    sched.spawn(hog())
+
+    def submitter():
+        yield sim.timeout(10e-6)
+        pm.submit(work)
+
+    sim.spawn(submitter())
+    sim.run()
+    # the worker could not start until the hog released its core at 100us
+    assert ran[0] >= 100e-6
+
+
+def test_ltasks_drain_in_fifo_order():
+    sim, sched, pm = make_pioman()
+    order = []
+
+    def work(tag):
+        def gen():
+            order.append(tag)
+            yield sim.timeout(0)
+        return gen
+
+    pm.submit(work("a"))
+    pm.submit(work("b"))
+    pm.submit(work("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_worker_restarts_after_drain():
+    sim, sched, pm = make_pioman(poll_period=1e-6, ltask_cost=0.0)
+    ran = []
+
+    def work():
+        ran.append(sim.now)
+        yield sim.timeout(0)
+
+    pm.submit(work)
+
+    def late_submitter():
+        yield sim.timeout(50e-6)
+        pm.submit(work)
+
+    sim.spawn(late_submitter())
+    sim.run()
+    assert len(ran) == 2
+    assert ran[1] == pytest.approx(51e-6)
+
+
+def test_semaphore_wait_releases_core():
+    """A blocked waiter's core must be usable by the pioman worker."""
+    sim, sched, pm = make_pioman(cores=1, poll_period=0.0, ltask_cost=0.0, wakeup_cost=0.0)
+    log = []
+    evt = sim.event()
+
+    def app():
+        yield sched.acquire_core()
+        yield from pm.semaphore_wait(evt)
+        log.append(("woke", sim.now))
+        sched.release_core()
+
+    def work():
+        log.append(("ltask", sim.now))
+        evt.succeed()
+        yield sim.timeout(0)
+
+    sched.spawn(app())
+
+    def submitter():
+        yield sim.timeout(5e-6)
+        pm.submit(work)
+
+    sim.spawn(submitter())
+    sim.run()
+    # With only one core, the ltask could only run because app released it.
+    assert log[0] == ("ltask", pytest.approx(5e-6))
+    assert log[1][0] == "woke"
+
+
+def test_semaphore_wait_on_triggered_event_returns_fast():
+    sim, sched, pm = make_pioman(cores=1)
+    evt = sim.event()
+    evt.succeed()
+    done = []
+
+    def app():
+        yield sched.acquire_core()
+        yield from pm.semaphore_wait(evt)
+        done.append(sim.now)
+        sched.release_core()
+
+    sched.spawn(app())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_wakeup_cost_charged():
+    sim, sched, pm = make_pioman(cores=2, wakeup_cost=1e-6)
+    evt = sim.event()
+    done = []
+
+    def app():
+        yield sched.acquire_core()
+        yield from pm.semaphore_wait(evt)
+        done.append(sim.now)
+        sched.release_core()
+
+    sched.spawn(app())
+    sim.schedule(10e-6, evt.succeed)
+    sim.run()
+    assert done == [pytest.approx(11e-6)]

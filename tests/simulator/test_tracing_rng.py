@@ -1,0 +1,59 @@
+"""Unit tests for tracing and deterministic RNG streams."""
+
+from repro.simulator import Simulator, Trace
+from repro.simulator.rng import rng_stream
+
+
+def test_trace_records_with_time():
+    trace = Trace()
+    sim = Simulator(trace=trace)
+    sim.schedule(1.0, lambda: sim.record("nic", rail="ib", size=64))
+    sim.run()
+    assert len(trace) == 1
+    rec = trace.records[0]
+    assert rec.time == 1.0
+    assert rec.category == "nic"
+    assert rec.data == {"rail": "ib", "size": 64}
+
+
+def test_trace_filter_and_count():
+    trace = Trace()
+    sim = Simulator(trace=trace)
+    sim.record("send", dst=1)
+    sim.record("send", dst=2)
+    sim.record("recv", src=1)
+    assert trace.count("send") == 2
+    assert trace.count("send", dst=2) == 1
+    assert [r.data["src"] for r in trace.filter("recv")] == [1]
+
+
+def test_trace_category_filtering_at_record_time():
+    trace = Trace(categories={"keep"})
+    sim = Simulator(trace=trace)
+    sim.record("keep", a=1)
+    sim.record("drop", b=2)
+    assert trace.count("keep") == 1
+    assert trace.count("drop") == 0
+
+
+def test_record_without_trace_is_noop():
+    sim = Simulator()
+    sim.record("anything", x=1)  # must not raise
+
+
+def test_rng_stream_reproducible():
+    a = rng_stream(42, "nic", 0)
+    b = rng_stream(42, "nic", 0)
+    assert list(a.integers(0, 100, 10)) == list(b.integers(0, 100, 10))
+
+
+def test_rng_stream_independent_keys():
+    a = rng_stream(42, "nic", 0)
+    b = rng_stream(42, "nic", 1)
+    assert list(a.integers(0, 1000, 10)) != list(b.integers(0, 1000, 10))
+
+
+def test_rng_stream_string_and_int_keys_distinct():
+    a = rng_stream(7, "sampler")
+    b = rng_stream(7, "driver")
+    assert a.random() != b.random()

@@ -1,0 +1,121 @@
+"""CLI commands and trace-analysis utilities."""
+
+import pytest
+
+from repro.analysis import format_timeline, format_traffic, summarize_traffic
+from repro.cli import _parse_size, main
+from repro.simulator import Trace
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_parse_size():
+    assert _parse_size("4") == 4
+    assert _parse_size("64K") == 64 * 1024
+    assert _parse_size("2M") == 2 << 20
+    assert _parse_size(" 1k ") == 1024
+
+
+def test_cli_stacks(capsys):
+    assert main(["stacks"]) == 0
+    out = capsys.readouterr().out
+    assert "mpich2_nmad" in out
+    assert "MVAPICH2" in out
+
+
+def test_cli_netpipe(capsys):
+    assert main(["netpipe", "--sizes", "4,1K", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "latency_us" in out
+    assert "MPICH2:Nem:Nmad" in out
+
+
+def test_cli_netpipe_intra(capsys):
+    assert main(["netpipe", "--sizes", "4", "--reps", "2", "--intra"]) == 0
+    assert "intra-node" in capsys.readouterr().out
+
+
+def test_cli_overlap(capsys):
+    assert main(["overlap", "--size", "64K", "--compute", "100",
+                 "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "sending time" in out
+
+
+def test_cli_nas(capsys):
+    assert main(["nas", "--kernel", "ep", "--cls", "A", "--procs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "EP class A" in out
+    assert "projected execution time" in out
+
+
+def test_cli_nas_square_adjustment(capsys):
+    assert main(["nas", "--kernel", "bt", "--cls", "A", "--procs", "8"]) == 0
+    assert "9 processes" in capsys.readouterr().out
+
+
+def test_cli_unknown_stack():
+    with pytest.raises(SystemExit, match="unknown stack"):
+        main(["netpipe", "--stack", "nope"])
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["experiments", "fig99"])
+
+
+# ---------------------------------------------------------------------------
+# trace analysis
+# ---------------------------------------------------------------------------
+
+def traced_run():
+    from repro import config
+    from repro.runtime import run_mpi
+
+    trace = Trace(categories={"nic.tx"})
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=1 << 20)
+            yield from comm.send(1, tag=1, size=64)
+        else:
+            yield from comm.recv(src=0, tag=0)
+            yield from comm.recv(src=0, tag=1)
+
+    run_mpi(program, 2, config.mpich2_nmad(rails=("ib", "mx")),
+            cluster=config.xeon_pair(), trace=trace)
+    return trace
+
+
+def test_summarize_traffic_counts_everything():
+    trace = traced_run()
+    summary = summarize_traffic(trace)
+    assert summary.total_frames == len(trace.filter("nic.tx"))
+    assert summary.total_bytes > 1 << 20
+    assert "ib" in summary.rails
+    assert summary.rail("ib").frames >= 3  # rts + cts + data + eager
+
+
+def test_rail_summary_bandwidth():
+    trace = traced_run()
+    summary = summarize_traffic(trace)
+    assert summary.rail("ib").effective_bandwidth > 0
+
+
+def test_format_traffic_readable():
+    text = format_traffic(summarize_traffic(traced_run()))
+    assert "total:" in text
+    assert "rail ib:" in text
+
+
+def test_format_timeline_histogram():
+    text = format_timeline(traced_run(), buckets=5)
+    assert text.count("\n") == 4
+    assert "#" in text
+    assert "us |" in text
+
+
+def test_format_timeline_empty():
+    assert format_timeline(Trace()) == "(no records)"

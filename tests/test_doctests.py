@@ -1,0 +1,27 @@
+"""Docstring examples must stay runnable (they are the API's first docs)."""
+
+import doctest
+
+import pytest
+
+import repro.hardware.topology
+import repro.nmad.strategies.sampling
+import repro.runtime.builder
+import repro.simulator.engine
+import repro.simulator.rng
+import repro.threads.marcel
+
+MODULES = [
+    repro.simulator.engine,
+    repro.simulator.rng,
+    repro.hardware.topology,
+    repro.threads.marcel,
+    repro.runtime.builder,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one example"

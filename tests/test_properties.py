@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.params import MemParams, NICParams
+from repro.mpich2.queues import Envelope, PostedQueue, UnexpectedQueue
+from repro.mpich2.request import ANY_SOURCE, MPIRequest
+from repro.nmad.strategies.sampling import NetworkSampler
+from repro.simulator import Simulator
+
+
+# ---------------------------------------------------------------------------
+# simulator
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_callbacks_run_in_time_order(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: seen.append(d))
+    sim.run()
+    assert seen == sorted(seen, key=lambda x: x)
+    assert len(seen) == len(delays)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_simulation_is_deterministic(delays):
+    def run_once():
+        sim = Simulator()
+        order = []
+        for i, d in enumerate(delays):
+            sim.schedule(d, lambda i=i: order.append((sim.now, i)))
+        sim.run()
+        return order
+
+    assert run_once() == run_once()
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.integers(0, 5)),
+                min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_task_timeouts_accumulate(steps):
+    """A task sleeping a series of timeouts ends at their exact sum."""
+    sim = Simulator()
+
+    def proc():
+        for d, _ in steps:
+            yield sim.timeout(d)
+
+    sim.spawn(proc())
+    final = sim.run()
+    assert final == sum(d for d, _ in steps) or abs(
+        final - sum(d for d, _ in steps)) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# matching queues vs a reference oracle
+# ---------------------------------------------------------------------------
+
+def oracle_match(posted, src, tag):
+    """First posted (index, entry) matching an arrival, or None."""
+    for i, (psrc, ptag) in enumerate(posted):
+        if (psrc is ANY_SOURCE or psrc == src) and ptag == tag:
+            return i
+    return None
+
+
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["post", "arrive"]),
+        st.integers(0, 3) | st.just(ANY_SOURCE),
+        st.integers(0, 2),
+    ),
+    min_size=1, max_size=60,
+))
+@settings(max_examples=200, deadline=None)
+def test_posted_queue_matches_like_oracle(ops):
+    sim = Simulator()
+    queue = PostedQueue()
+    model = []
+    for op, src, tag in ops:
+        if op == "post":
+            req = MPIRequest(sim, "recv", src, tag)
+            queue.post(req)
+            model.append((src, tag))
+        else:
+            if src is ANY_SOURCE:
+                src = 0
+            got = queue.match(src, tag)
+            want = oracle_match(model, src, tag)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert (got.peer, got.tag) == model[want]
+                model.pop(want)
+    assert len(queue) == len(model)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)),
+                min_size=0, max_size=40),
+       st.integers(0, 3), st.integers(0, 2))
+@settings(max_examples=200, deadline=None)
+def test_unexpected_queue_fifo_per_pattern(arrivals, qsrc, qtag):
+    q = UnexpectedQueue()
+    for i, (src, tag) in enumerate(arrivals):
+        q.add(Envelope(src=src, tag=tag, size=i))
+    expected = [i for i, (s, t) in enumerate(arrivals)
+                if s == qsrc and t == qtag]
+    drained = []
+    while True:
+        env = q.match(qsrc, qtag)
+        if env is None:
+            break
+        drained.append(env.size)
+    assert drained == expected
+
+
+# ---------------------------------------------------------------------------
+# sampler splits
+# ---------------------------------------------------------------------------
+
+class _FakeDriver:
+    def __init__(self, bw, lat):
+        class P:
+            pass
+        self.nic = type("N", (), {})()
+        self.nic.params = NICParams(
+            name="x", post_overhead=lat / 4, recv_overhead=lat / 4,
+            wire_latency=lat / 2, bandwidth=bw, per_message_gap=0.0)
+
+    def small_latency(self):
+        p = self.nic.params
+        return p.post_overhead + p.transfer_time(8) + p.recv_overhead
+
+
+@given(st.lists(st.floats(min_value=1e8, max_value=1e10, allow_nan=False),
+                min_size=1, max_size=4),
+       st.integers(min_value=1, max_value=1 << 28))
+@settings(max_examples=200, deadline=None)
+def test_split_conserves_bytes(bandwidths, size):
+    drivers = [_FakeDriver(bw, 1e-6) for bw in bandwidths]
+    shares = NetworkSampler().split(drivers, size)
+    assert sum(c for _, c in shares) == size
+    assert all(c > 0 for _, c in shares)
+    assert len(shares) <= len(drivers)
+
+
+@given(st.floats(min_value=1e8, max_value=1e10, allow_nan=False),
+       st.floats(min_value=1e8, max_value=1e10, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_split_share_ordering_follows_bandwidth(bw_a, bw_b):
+    da, db = _FakeDriver(bw_a, 1e-6), _FakeDriver(bw_b, 1e-6)
+    shares = dict()
+    for drv, chunk in NetworkSampler().split([da, db], 1 << 20):
+        shares[id(drv)] = chunk
+    if bw_a > bw_b * 1.01:
+        assert shares.get(id(da), 0) >= shares.get(id(db), 0)
+
+
+# ---------------------------------------------------------------------------
+# hardware cost model invariants
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 1 << 28), st.integers(0, 1 << 28))
+@settings(max_examples=200, deadline=None)
+def test_copy_time_monotone(a, b):
+    mem = MemParams()
+    if a <= b:
+        assert mem.copy_time(a) <= mem.copy_time(b)
+
+
+@given(st.integers(1, 1 << 28), st.integers(1, 1 << 28))
+@settings(max_examples=200, deadline=None)
+def test_injection_time_monotone_and_positive(a, b):
+    p = NICParams(name="t", post_overhead=1e-7, recv_overhead=1e-7,
+                  wire_latency=1e-6, bandwidth=1e9, per_message_gap=5e-8,
+                  max_inline=128, dma_setup=2e-7)
+    assert p.injection_time(a) > 0
+    if a <= b and (a > 128) == (b > 128):
+        assert p.injection_time(a) <= p.injection_time(b)

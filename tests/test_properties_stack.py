@@ -1,0 +1,107 @@
+"""Property-based end-to-end tests on the full stacks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import config
+from repro.runtime import run_mpi
+
+
+# random message schedules between two ranks: all delivered, in order
+@given(st.lists(st.tuples(st.integers(1, 1 << 18),     # size
+                          st.integers(0, 2)),          # tag id
+                min_size=1, max_size=12),
+       st.sampled_from(["direct", "netmod", "pioman", "native", "multirail"]))
+@settings(max_examples=40, deadline=None)
+def test_random_message_schedule_delivers_in_order(msgs, flavor):
+    spec = {
+        "direct": config.mpich2_nmad,
+        "netmod": config.mpich2_nmad_netmod,
+        "pioman": config.mpich2_nmad_pioman,
+        "native": config.mvapich2,
+        "multirail": lambda: config.mpich2_nmad(rails=("ib", "mx")),
+    }[flavor]()
+
+    def program(comm):
+        if comm.rank == 0:
+            for i, (size, tag) in enumerate(msgs):
+                yield from comm.send(1, tag=tag, size=size, data=(tag, i))
+            return None
+        per_tag = {}
+        reqs = []
+        for size, tag in msgs:
+            req = yield from comm.irecv(src=0, tag=tag)
+            reqs.append(req)
+        out = yield from comm.waitall(reqs)
+        for m in out:
+            per_tag.setdefault(m.tag, []).append(m.data[1])
+        return per_tag
+
+    r = run_mpi(program, 2, spec, cluster=config.xeon_pair())
+    per_tag = r.result(1)
+    # per tag, messages arrive in send order
+    for tag, indices in per_tag.items():
+        assert indices == sorted(indices)
+    assert sum(len(v) for v in per_tag.values()) == len(msgs)
+
+
+@given(st.integers(1, 8),
+       st.lists(st.integers(-1000, 1000), min_size=8, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_allreduce_matches_python_sum(p, values):
+    values = values[:p]
+
+    def program(comm):
+        out = yield from comm.allreduce(8, value=values[comm.rank])
+        return out
+
+    r = run_mpi(program, p, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=p))
+    assert r.rank_results == [sum(values)] * p
+
+
+@given(st.integers(2, 6), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_bcast_from_any_root(p, root_seed):
+    root = root_seed % p
+
+    def program(comm):
+        data = ("payload", root) if comm.rank == root else None
+        out = yield from comm.bcast(256, data=data, root=root)
+        return out
+
+    r = run_mpi(program, p, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=p))
+    assert r.rank_results == [("payload", root)] * p
+
+
+@given(st.integers(1, 1 << 22))
+@settings(max_examples=25, deadline=None)
+def test_any_size_roundtrip_preserves_payload(size):
+    payload = object()
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=size, data=payload)
+            msg = yield from comm.recv(src=1, tag=1)
+            return msg.data is payload
+        msg = yield from comm.recv(src=0, tag=0)
+        yield from comm.send(0, tag=1, size=size, data=msg.data)
+        return msg.size == size
+
+    r = run_mpi(program, 2, config.mpich2_nmad(), cluster=config.xeon_pair())
+    assert r.result(0) is True
+    assert r.result(1) is True
+
+
+@given(st.lists(st.integers(1, 1 << 16), min_size=1, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_elapsed_time_positive_and_finite(sizes):
+    def program(comm):
+        for i, s in enumerate(sizes):
+            if comm.rank == 0:
+                yield from comm.send(1, tag=i, size=s)
+            else:
+                yield from comm.recv(src=0, tag=i)
+
+    r = run_mpi(program, 2, config.mpich2_nmad(), cluster=config.xeon_pair())
+    assert 0 < r.elapsed < 1.0

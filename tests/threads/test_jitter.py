@@ -1,0 +1,76 @@
+"""The OS-noise (compute jitter) model."""
+
+import pytest
+
+from repro import config
+from repro.hardware.params import NodeParams
+from repro.hardware.presets import XEON_MEM
+from repro.runtime import run_mpi
+
+
+def jitter_cluster(jitter):
+    node = NodeParams(cores=8, flops_per_core=3.0e9,
+                      compute_jitter=jitter, mem=XEON_MEM)
+    return config.ClusterSpec(n_nodes=2, node=node,
+                              rails=config.xeon_pair().rails)
+
+
+def timed_compute(comm):
+    t0 = comm.sim.now
+    for _ in range(10):
+        yield from comm.compute(10e-6)
+    return comm.sim.now - t0
+
+
+def test_zero_jitter_is_exact():
+    r = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.0))
+    assert r.result(0) == pytest.approx(100e-6, abs=1e-12)
+
+
+def test_jitter_stretches_compute_within_bound():
+    r = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.10))
+    elapsed = r.result(0)
+    assert 100e-6 < elapsed <= 110e-6 * 1.0001
+
+
+def test_jitter_reproducible_for_same_seed():
+    a = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.10), seed=7)
+    b = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.10), seed=7)
+    assert a.result(0) == b.result(0)
+    assert a.result(1) == b.result(1)
+
+
+def test_jitter_differs_across_seeds():
+    a = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.10), seed=1)
+    b = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.10), seed=2)
+    assert a.result(0) != b.result(0)
+
+
+def test_jitter_differs_across_nodes():
+    """Each node draws from its own stream: ranks on different nodes
+    see different noise."""
+    r = run_mpi(timed_compute, 2, config.mpich2_nmad(),
+                cluster=jitter_cluster(0.10), seed=3)
+    assert r.result(0) != r.result(1)
+
+
+def test_nas_with_jitter_still_sane():
+    from repro.workloads.nas import run_kernel
+    from repro.config import grid5000
+    from repro.hardware.presets import OPTERON_MEM
+
+    node = NodeParams(cores=8, flops_per_core=1.0e9,
+                      compute_jitter=0.05, mem=OPTERON_MEM)
+    cluster = config.ClusterSpec(n_nodes=8, node=node,
+                                 rails=grid5000().rails)
+    base = run_kernel("cg", "A", 8, config.mpich2_nmad())
+    noisy = run_kernel("cg", "A", 8, config.mpich2_nmad(),
+                       cluster=cluster, ranks_per_node=1)
+    # noise can only slow things down, and by at most ~the jitter bound
+    assert base.time_seconds < noisy.time_seconds < base.time_seconds * 1.10

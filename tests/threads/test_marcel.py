@@ -1,0 +1,111 @@
+"""Unit tests for the Marcel core-scheduler model."""
+
+import pytest
+
+from repro.hardware.params import NodeParams
+from repro.simulator import Simulator
+from repro.threads import MarcelScheduler
+
+
+def make_sched(cores=2):
+    sim = Simulator()
+    return sim, MarcelScheduler(sim, NodeParams(cores=cores))
+
+
+def test_idle_cores_accounting():
+    sim, sched = make_sched(cores=4)
+    assert sched.idle_cores == 4
+    assert sched.try_acquire_core()
+    assert sched.idle_cores == 3
+    sched.release_core()
+    assert sched.idle_cores == 4
+
+
+def test_compute_advances_time():
+    sim, sched = make_sched()
+    log = []
+
+    def worker():
+        yield sched.acquire_core()
+        yield from sched.compute(5e-6)
+        log.append(sim.now)
+        sched.release_core()
+
+    sched.spawn(worker())
+    sim.run()
+    assert log == [pytest.approx(5e-6)]
+
+
+def test_compute_zero_duration_is_instant():
+    sim, sched = make_sched()
+
+    def worker():
+        yield sched.acquire_core()
+        yield from sched.compute(0.0)
+        sched.release_core()
+
+    sched.spawn(worker())
+    assert sim.run() == 0.0
+
+
+def test_compute_negative_rejected():
+    sim, sched = make_sched()
+
+    def worker():
+        yield sched.acquire_core()
+        yield from sched.compute(-1.0)
+
+    sched.spawn(worker())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_oversubscribed_threads_queue_for_cores():
+    sim, sched = make_sched(cores=1)
+    log = []
+
+    def worker(name):
+        yield sched.acquire_core()
+        yield from sched.compute(1e-3)
+        log.append((name, sim.now))
+        sched.release_core()
+
+    sched.spawn(worker("a"))
+    sched.spawn(worker("b"))
+    sim.run()
+    assert log == [("a", pytest.approx(1e-3)), ("b", pytest.approx(2e-3))]
+
+
+def test_two_cores_run_in_parallel():
+    sim, sched = make_sched(cores=2)
+    log = []
+
+    def worker(name):
+        yield sched.acquire_core()
+        yield from sched.compute(1e-3)
+        log.append((name, sim.now))
+        sched.release_core()
+
+    sched.spawn(worker("a"))
+    sched.spawn(worker("b"))
+    sim.run()
+    assert log[0][1] == pytest.approx(1e-3)
+    assert log[1][1] == pytest.approx(1e-3)
+
+
+def test_flops_time():
+    sim, sched = make_sched()
+    t = sched.flops_time(2.0e9)
+    assert t == pytest.approx(2.0e9 / NodeParams().flops_per_core)
+
+
+def test_spawn_counts_threads():
+    sim, sched = make_sched()
+
+    def nop():
+        yield sim.timeout(0)
+
+    sched.spawn(nop())
+    sched.spawn(nop())
+    assert sched.threads_spawned == 2
+    sim.run()

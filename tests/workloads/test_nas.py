@@ -1,0 +1,137 @@
+"""NAS skeleton behaviour: registry, scaling, kernel structure."""
+
+import pytest
+
+from repro import config
+from repro.workloads.nas import KERNELS, adjust_procs, run_kernel
+from repro.workloads.nas.base import grid_2d, grid_3d, square_side
+
+
+def test_all_paper_kernels_registered():
+    for name in ("bt", "cg", "ep", "ft", "sp", "mg", "lu"):
+        assert name in KERNELS
+    assert "is" in KERNELS  # our extension
+
+
+def test_adjust_procs_square_kernels():
+    assert adjust_procs("bt", 8) == 9
+    assert adjust_procs("bt", 32) == 36
+    assert adjust_procs("sp", 16) == 16
+    assert adjust_procs("cg", 8) == 8  # pow2 kernels unchanged
+
+
+def test_square_side():
+    assert square_side(36) == 6
+    with pytest.raises(ValueError):
+        square_side(8)
+
+
+def test_grid_2d_factorizations():
+    assert grid_2d(8) == (4, 2)
+    assert grid_2d(16) == (4, 4)
+    assert grid_2d(64) == (8, 8)
+    assert grid_2d(1) == (1, 1)
+
+
+def test_grid_3d_factorizations():
+    for p in (8, 16, 32, 64):
+        fx, fy, fz = grid_3d(p)
+        assert fx * fy * fz == p
+        assert max(fx, fy, fz) / min(fx, fy, fz) <= 4
+
+
+def test_proc_rule_enforced():
+    with pytest.raises(ValueError, match="power-of-two"):
+        run_kernel("cg", "A", 6, config.mpich2_nmad())
+    with pytest.raises(ValueError, match="square"):
+        run_kernel("bt", "A", 8, config.mpich2_nmad())
+
+
+def test_cpu_seconds_uses_gop_and_rate():
+    spec = KERNELS["ep"]
+    assert spec.cpu_seconds("C") == pytest.approx(86.0 / 0.098)
+
+
+@pytest.mark.parametrize("kernel", ["ep", "cg", "ft", "mg"])
+def test_kernel_runs_and_scales(kernel):
+    t8 = run_kernel(kernel, "A", 8, config.mpich2_nmad()).time_seconds
+    t16 = run_kernel(kernel, "A", 16, config.mpich2_nmad()).time_seconds
+    assert 0 < t16 < t8
+
+
+def test_bt_runs_on_square_grids():
+    t9 = run_kernel("bt", "A", 9, config.mpich2_nmad()).time_seconds
+    t16 = run_kernel("bt", "A", 16, config.mpich2_nmad()).time_seconds
+    assert 0 < t16 < t9
+
+
+def test_lu_wavefront_completes_all_proc_counts():
+    for p in (2, 8, 16):
+        res = run_kernel("lu", "A", p, config.mpich2_nmad())
+        assert res.time_seconds > 0
+
+
+def test_classes_ordered_by_work():
+    for name in ("cg", "ft", "lu"):
+        ta = run_kernel(name, "A", 8, config.mpich2_nmad()).time_seconds
+        tb = run_kernel(name, "B", 8, config.mpich2_nmad()).time_seconds
+        assert tb > ta
+
+
+def test_result_metadata():
+    res = run_kernel("ep", "A", 4, config.mpich2_nmad())
+    assert res.kernel == "ep"
+    assert res.cls == "A"
+    assert res.nprocs == 4
+    assert res.simulated_iters <= res.total_iters
+
+
+def test_single_process_run():
+    res = run_kernel("ep", "A", 1, config.mpich2_nmad())
+    assert res.time_seconds == pytest.approx(5.4 / 0.098, rel=0.01)
+
+
+def test_openmpi_lag_visible_in_ep():
+    a = run_kernel("ep", "A", 4, config.mpich2_nmad()).time_seconds
+    b = run_kernel("ep", "A", 4, config.openmpi_ib()).time_seconds
+    assert b > a * 1.05
+
+
+def test_is_extension_runs_with_datatypes():
+    res = run_kernel("is", "A", 4, config.mpich2_nmad())
+    assert res.time_seconds > 0
+
+
+def test_pioman_overhead_small_on_nas():
+    base = run_kernel("cg", "A", 8, config.mpich2_nmad()).time_seconds
+    piom = run_kernel("cg", "A", 8, config.mpich2_nmad_pioman()).time_seconds
+    assert abs(piom - base) / base < 0.03  # paper: "usually less than 3%"
+
+
+def test_parallel_efficiency_helper():
+    from repro.workloads.nas import parallel_efficiency
+
+    results = [
+        run_kernel("ep", "A", p, config.mpich2_nmad()) for p in (2, 4, 8)
+    ]
+    eff = parallel_efficiency(results)
+    assert set(eff) == {2, 4, 8}
+    assert eff[2] == pytest.approx(1.0)
+    # EP is embarrassingly parallel: efficiency stays near 1
+    assert eff[8] > 0.95
+
+
+def test_parallel_efficiency_empty():
+    from repro.workloads.nas import parallel_efficiency
+
+    assert parallel_efficiency([]) == {}
+
+
+def test_comm_bound_kernel_efficiency_drops():
+    from repro.workloads.nas import parallel_efficiency
+
+    results = [
+        run_kernel("cg", "A", p, config.mpich2_nmad()) for p in (2, 16)
+    ]
+    eff = parallel_efficiency(results)
+    assert eff[16] < 1.0

@@ -1,0 +1,84 @@
+"""Netpipe and overlap workload harnesses."""
+
+import pytest
+
+from repro import config
+from repro.workloads.netpipe import run_netpipe
+from repro.workloads.overlap import run_overlap
+
+
+def test_netpipe_result_structure():
+    res = run_netpipe(config.mpich2_nmad(), config.xeon_pair(),
+                      sizes=[4, 64, 1024], reps=3)
+    assert res.sizes == [4, 64, 1024]
+    assert len(res.latencies) == 3
+    assert res.latency_at(64) == res.latencies[1]
+    assert res.bandwidth_at(1024) == res.bandwidths[2]
+
+
+def test_netpipe_latency_monotone_in_size():
+    res = run_netpipe(config.mpich2_nmad(), config.xeon_pair(),
+                      sizes=[1, 64, 4096, 65536], reps=3)
+    assert res.latencies == sorted(res.latencies)
+
+
+def test_netpipe_bandwidth_grows_with_size():
+    res = run_netpipe(config.mvapich2(), config.xeon_pair(),
+                      sizes=[1024, 65536, 4 << 20], reps=3)
+    assert res.bandwidths == sorted(res.bandwidths)
+
+
+def test_netpipe_intra_node_faster_than_network():
+    cluster = config.xeon_pair()
+    net = run_netpipe(config.mpich2_nmad(), cluster, sizes=[64], reps=3)
+    shm = run_netpipe(config.mpich2_nmad(), cluster, sizes=[64], reps=3,
+                      intra_node=True)
+    assert shm.latency_at(64) < net.latency_at(64) / 3
+
+
+def test_netpipe_anysource_adds_constant():
+    cluster = config.xeon_pair()
+    base = run_netpipe(config.mpich2_nmad(), cluster, sizes=[8], reps=3)
+    aso = run_netpipe(config.mpich2_nmad(), cluster, sizes=[8], reps=3,
+                      anysource=True)
+    assert aso.latency_at(8) > base.latency_at(8)
+
+
+def test_overlap_reference_tracks_message_size():
+    res = run_overlap(config.mpich2_nmad(), config.xeon_pair(),
+                      sizes=[16 << 10, 256 << 10], compute=0.0, reps=2)
+    assert res.at(256 << 10) > res.at(16 << 10)
+
+
+def test_overlap_non_pioman_is_additive():
+    compute = 400e-6
+    ref = run_overlap(config.mpich2_nmad(), config.xeon_pair(),
+                      sizes=[256 << 10], compute=0.0, reps=2)
+    res = run_overlap(config.mpich2_nmad(), config.xeon_pair(),
+                      sizes=[256 << 10], compute=compute, reps=2)
+    expected = ref.at(256 << 10) + compute
+    assert res.at(256 << 10) == pytest.approx(expected, rel=0.05)
+
+
+def test_overlap_pioman_approaches_max():
+    compute = 400e-6
+    size = 256 << 10
+    ref = run_overlap(config.mpich2_nmad_pioman(), config.xeon_pair(),
+                      sizes=[size], compute=0.0, reps=2)
+    res = run_overlap(config.mpich2_nmad_pioman(), config.xeon_pair(),
+                      sizes=[size], compute=compute, reps=2)
+    ideal = max(ref.at(size), compute)
+    assert res.at(size) < ideal * 1.10
+    # and decisively better than the non-overlapping sum
+    assert res.at(size) < ref.at(size) + compute * 0.75
+
+
+def test_overlap_comparators_do_not_overlap():
+    compute = 400e-6
+    size = 256 << 10
+    for spec in (config.mvapich2(), config.openmpi_ib()):
+        ref = run_overlap(spec, config.xeon_pair(), sizes=[size],
+                          compute=0.0, reps=2)
+        res = run_overlap(spec, config.xeon_pair(), sizes=[size],
+                          compute=compute, reps=2)
+        assert res.at(size) > ref.at(size) + compute * 0.9

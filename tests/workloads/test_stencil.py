@@ -1,0 +1,55 @@
+"""The stencil application skeleton and its overlap behaviour."""
+
+import pytest
+
+from repro import config
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+FAST = StencilConfig(n=2048, iters=3)
+
+
+def test_stencil_runs_all_stacks():
+    for spec in (config.mpich2_nmad(), config.mpich2_nmad_pioman(),
+                 config.mvapich2()):
+        res = run_stencil(spec, 4, FAST)
+        assert res.time_seconds > 0
+        assert res.per_iter == pytest.approx(res.time_seconds / FAST.iters)
+
+
+def test_stencil_scales_with_procs():
+    t4 = run_stencil(config.mpich2_nmad(), 4, FAST).time_seconds
+    t16 = run_stencil(config.mpich2_nmad(), 16, FAST).time_seconds
+    assert t16 < t4
+
+
+def test_halo_bytes_scale_with_depth_and_partition():
+    cfg = StencilConfig(n=1024, ghost_depth=4)
+    assert cfg.halo_bytes(2) == 8 * 4 * 512
+    deeper = StencilConfig(n=1024, ghost_depth=8)
+    assert deeper.halo_bytes(2) == 2 * cfg.halo_bytes(2)
+
+
+def test_single_rank_stencil_has_no_comm():
+    res = run_stencil(config.mpich2_nmad(), 1, FAST)
+    cfg = FAST
+    expected = cfg.iters * cfg.interior_flops(1) / 3.0e9  # Xeon preset rate
+    assert res.time_seconds == pytest.approx(expected, rel=0.01)
+
+
+def test_pioman_overlap_beats_everyone():
+    """The application-level Fig. 7: only PIOMan converts the
+    nonblocking-halo idiom into real overlap."""
+    cfg = StencilConfig(n=4096, iters=4)
+    nmad_plain = run_stencil(config.mpich2_nmad(), 16, cfg, overlap=False)
+    nmad_over = run_stencil(config.mpich2_nmad(), 16, cfg, overlap=True)
+    piom_over = run_stencil(config.mpich2_nmad_pioman(), 16, cfg, overlap=True)
+
+    # pre-posting helps a little everywhere; background progress helps a lot
+    assert nmad_over.time_seconds <= nmad_plain.time_seconds
+    assert piom_over.time_seconds < nmad_over.time_seconds * 0.95
+
+
+def test_overlap_flag_recorded():
+    res = run_stencil(config.mpich2_nmad(), 4, FAST, overlap=False)
+    assert res.overlap is False
+    assert "Nmad" in res.stack
