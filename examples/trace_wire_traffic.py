@@ -1,15 +1,26 @@
 #!/usr/bin/env python3
-"""Inspect what actually crosses the wire: traces + traffic analysis.
+"""Inspect what actually crosses the stack: traces, metrics, Perfetto.
 
-Runs the same 8 MiB transfer under three configurations and prints what
-each one put on the network — the frame-level view of the eager /
-rendezvous / multirail protocols, plus an activity timeline.
+Runs the same 8 MiB transfer under three configurations and shows, for
+each one, the full observability pipeline (``docs/OBSERVABILITY.md``):
+
+* which trace categories each layer emitted (the taxonomy view),
+* the frame-level wire traffic and activity timeline,
+* the per-message critical-path latency breakdown,
+* the headline metrics (bytes per rail, NIC busy fraction, polls/msg),
+
+and writes one Perfetto JSON per configuration — load them at
+https://ui.perfetto.dev to see every layer as its own track group.
 
 Run:  python examples/trace_wire_traffic.py
 """
 
+from collections import defaultdict
+
 from repro import config
 from repro.analysis import format_timeline, format_traffic, summarize_traffic
+from repro.observability import (attach_metrics, format_breakdown, layer_of,
+                                 message_lives, write_perfetto)
 from repro.runtime import run_mpi
 from repro.simulator import Trace
 
@@ -25,20 +36,48 @@ def transfer(comm):
         yield from comm.recv(src=0, tag=1)
 
 
-def show(title, spec):
-    trace = Trace(categories={"nic.tx"})
+def show(title, spec, out):
+    trace = Trace()
+    metrics = attach_metrics(trace)
     result = run_mpi(transfer, 2, spec, cluster=config.xeon_pair(),
                      trace=trace)
     print(f"\n### {title}  (done at {result.elapsed * 1e6:.0f} us)")
+
+    by_layer = defaultdict(list)
+    for cat in sorted(trace.categories_seen()):
+        by_layer[layer_of(cat)].append(cat)
+    print(f"{len(trace)} records from {len(by_layer)} layers:")
+    for layer in sorted(by_layer):
+        print(f"  {layer:<9} {', '.join(by_layer[layer])}")
+
+    print()
     print(format_traffic(summarize_traffic(trace)))
     print(format_timeline(trace, buckets=8, width=40))
+    print()
+    print(format_breakdown(message_lives(trace)))
+
+    derived = metrics.derived()
+    print()
+    for rail, nbytes in sorted(derived["bytes_per_rail"].items()):
+        busy = derived["nic_busy_fraction"].get(rail, 0.0)
+        print(f"rail {rail}: {int(nbytes)} bytes on the wire, "
+              f"NIC busy {busy * 100:.1f}%")
+    if derived["polls_per_message"]:
+        print(f"pioman polls per received message: "
+              f"{derived['polls_per_message']:.2f}")
+
+    write_perfetto(trace, out)
+    print(f"Perfetto trace -> {out}")
 
 
 def main():
     print(f"one {SIZE >> 20} MiB message + one 512 B message, rank0 -> rank1")
-    show("CH3-direct (single IB rail)", config.mpich2_nmad())
-    show("CH3-direct, multirail IB+MX", config.mpich2_nmad(rails=("ib", "mx")))
-    show("netmod path (nested handshakes)", config.mpich2_nmad_netmod())
+    show("CH3-direct (single IB rail)", config.mpich2_nmad(),
+         "trace_direct.json")
+    show("CH3-direct, multirail IB+MX", config.mpich2_nmad(rails=("ib", "mx")),
+         "trace_multirail.json")
+    show("netmod path (nested handshakes)", config.mpich2_nmad_netmod(),
+         "trace_netmod.json")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,8 @@ Commands
 ``overlap``       the Fig. 7 isend/compute/wait measurement
 ``nas``           one NAS kernel run
 ``stacks``        list available stack presets
+``trace``         run a workload fully traced; export Perfetto JSON +
+                  metrics summary + per-layer latency breakdown
 """
 
 from __future__ import annotations
@@ -122,6 +124,46 @@ def cmd_nas(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.observability import (attach_metrics, format_breakdown,
+                                     layer_of, message_lives, write_perfetto)
+    from repro.runtime import run_mpi
+    from repro.simulator import Trace
+    from repro.workloads.netpipe import pingpong
+
+    if args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    spec = _stack(args.stack)
+    size = _parse_size(args.size)
+    trace = Trace()
+    metrics = attach_metrics(trace)
+
+    if args.workload == "netpipe":
+        program = pingpong(size, reps=args.reps, warmup=0)
+    else:  # overlap
+        from repro.workloads.overlap import overlap_program
+        program = overlap_program(size, compute=400e-6, reps=args.reps,
+                                  warmup=0)
+
+    result = run_mpi(program, 2, spec, cluster=config.xeon_pair(),
+                     trace=trace)
+    write_perfetto(trace, args.out)
+
+    layers = sorted({layer_of(c) for c in trace.categories_seen()})
+    print(f"# {spec.name}, {args.workload}, {size} B "
+          f"(done at {result.elapsed * 1e6:.1f} us)")
+    print(f"{len(trace)} trace records across layers: {', '.join(layers)}")
+    print(f"Perfetto trace written to {args.out} "
+          f"(open at https://ui.perfetto.dev)")
+    print()
+    print("== per-layer latency breakdown ==")
+    print(format_breakdown(message_lives(trace)))
+    print()
+    print("== metrics ==")
+    print(metrics.format_summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -161,6 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stack", default="mpich2_nmad")
     p.add_argument("--sim-iters", type=int, default=None)
     p.set_defaults(fn=cmd_nas)
+
+    p = sub.add_parser("trace", help="trace a workload; export Perfetto "
+                                     "JSON + metrics + latency breakdown")
+    p.add_argument("--stack", default="mpich2_nmad_pioman")
+    p.add_argument("--workload", default="netpipe",
+                   choices=["netpipe", "overlap"])
+    p.add_argument("--size", default="64K",
+                   help="message size, K/M suffixes allowed")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--out", default="trace.json",
+                   help="Perfetto JSON output path")
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

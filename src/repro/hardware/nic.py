@@ -80,10 +80,13 @@ class NIC:
         self.tx_bytes += frame.size
         arrival = self._tx_free_at + self.params.wire_latency
         self.sim.at(arrival, self.fabric.deliver, frame)
-        self.sim.record(
-            "nic.tx", rail=self.params.name, node=self.node_id,
-            dst=frame.dst, size=frame.size, kind=frame.kind,
-        )
+        if self.sim.tracing:
+            self.sim.record(
+                "nic.tx", rail=self.params.name, node=self.node_id,
+                dst=frame.dst, size=frame.size, kind=frame.kind,
+                frame=frame.frame_id, dur=injection,
+                queued=start - self.sim.now,
+            )
         done = self.sim.event()
         self.sim.at(self._tx_free_at, done.succeed, frame)
         return done
@@ -101,10 +104,12 @@ class NIC:
     def _deliver(self, frame: Frame) -> None:
         self.rx_frames += 1
         self.rx_bytes += frame.size
-        self.sim.record(
-            "nic.rx", rail=self.params.name, node=self.node_id,
-            src=frame.src, size=frame.size, kind=frame.kind,
-        )
+        if self.sim.tracing:
+            self.sim.record(
+                "nic.rx", rail=self.params.name, node=self.node_id,
+                src=frame.src, size=frame.size, kind=frame.kind,
+                frame=frame.frame_id,
+            )
         self.rx_queue.put(frame)
         if self.rx_notify is not None:
             self.rx_notify(frame)

@@ -65,6 +65,11 @@ class AnySourceBook:
                 yield from self.stack._post_remote_recv(req)
                 continue
             hit = self.stack.core.probe(self.stack._nm_tag(tag))
+            if self.stack.sim.tracing:
+                self.stack.sim.record(
+                    "mpich2.anysource_scan", rank=self.stack.rank, tag=tag,
+                    hit=hit is not None, pending=len(sub),
+                )
             if hit is None:
                 break
             src, _size = hit

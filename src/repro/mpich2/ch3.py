@@ -142,12 +142,23 @@ class CH3Stack(BaseStack):
         req._sync = sync
         self.messages_sent += 1
         self.bytes_sent += size
-        yield from self.vcs[dst].send_fn(req)
+        vc = self.vcs[dst]
+        if self.sim.tracing:
+            self.sim.record(
+                "mpich2.send", src=self.rank, dst=dst, tag=tag, size=size,
+                path="shm" if vc.is_local else self.mode, sync=sync,
+            )
+        yield from vc.send_fn(req)
         return req
 
     def irecv(self, src: Any, tag: Any):
         """MPID_Recv/Irecv equivalent; returns the :class:`MPIRequest`."""
         req = MPIRequest(self.sim, "recv", src, tag)
+        if self.sim.tracing:
+            self.sim.record(
+                "mpich2.recv_post", rank=self.rank,
+                src="ANY" if src is ANY_SOURCE else src, tag=tag,
+            )
         if ((tag is ANY_TAG or isinstance(tag, ContextAnyTag))
                 and self.mode == "direct"):
             vc = None if src is ANY_SOURCE else self.vcs[src]
@@ -210,6 +221,13 @@ class CH3Stack(BaseStack):
         if req.size <= self.costs.ch3_eager_threshold and not getattr(req, "_sync", False):
             # CH3 eager: copy into a Nemesis queue cell (paper 2.1.3),
             # then ship the cell through the network module.
+            if self.sim.tracing:
+                self.sim.record("mpich2.cell_copy", rank=self.rank, dir="in",
+                                size=req.size,
+                                dur=self.node.mem.copy_time(req.size))
+                self.sim.record("mpich2.netmod_handoff", rank=self.rank,
+                                dir="tx", kind="eager", dst=req.peer,
+                                size=req.size)
             yield from self.cpu(self.node.mem.copy_time(req.size))
             env = Envelope(src=self.rank, tag=req.tag, size=req.size, data=req.data)
             nm = yield from self.netmod.net_module_send(
@@ -226,6 +244,10 @@ class CH3Stack(BaseStack):
             rid = next(self._ch3_rdv_ctr)
             self._ch3_rdv_send[rid] = req
             env = Envelope(src=self.rank, tag=req.tag, size=req.size)
+            if self.sim.tracing:
+                self.sim.record("mpich2.netmod_handoff", rank=self.rank,
+                                dir="tx", kind="rts", dst=req.peer,
+                                size=req.size)
             yield from self.netmod.net_module_send(
                 req.peer, self.costs.ctrl_size, ("rts", env, rid))
             self._offload_pump(self.costs.ctrl_size)
@@ -285,6 +307,10 @@ class CH3Stack(BaseStack):
         """Complete a receive from a matched envelope (shm or netmod)."""
         if env.proto is None:
             if self.shm is not None and env.arrival:
+                if self.sim.tracing:
+                    self.sim.record("mpich2.shm_recv", rank=self.rank,
+                                    src=env.src, size=env.size,
+                                    dur=self.shm.recv_cost(env.size))
                 yield from self.cpu(self.shm.recv_cost(env.size))
             else:
                 yield from self.cpu(self.node.mem.copy_time(env.size))
@@ -377,8 +403,16 @@ class CH3Stack(BaseStack):
     # ------------------------------------------------------------------
     def _handle_ch3_packet(self, nm):
         kind, env, rid = nm.data
+        if self.sim.tracing:
+            self.sim.record("mpich2.netmod_handoff", rank=self.rank,
+                            dir="rx", kind=kind,
+                            size=env.size if env is not None else 0)
         if kind == "eager":
             # copy out of the queue cell, then CH3 matching
+            if self.sim.tracing:
+                self.sim.record("mpich2.cell_copy", rank=self.rank, dir="out",
+                                size=env.size,
+                                dur=self.node.mem.copy_time(env.size))
             yield from self.cpu(self.node.mem.copy_time(env.size))
             req = self.posted.match(env.src, env.tag)
             if req is None:
@@ -415,5 +449,8 @@ class CH3Stack(BaseStack):
         tag, size = env.tag, env.size
         nmr.on_complete = lambda n: req._finish(
             self.sim, data=n.data, size=size, source=src, tag=tag)
+        if self.sim.tracing:
+            self.sim.record("mpich2.netmod_handoff", rank=self.rank,
+                            dir="tx", kind="cts", dst=src, size=size)
         yield from self.netmod.net_module_send(src, self.costs.ctrl_size,
                                                ("cts", None, rid))

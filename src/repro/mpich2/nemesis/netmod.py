@@ -80,6 +80,9 @@ class NewmadNetmod(NetworkModule):
     def net_module_poll(self, frame: Any):
         if not self._initialized:
             raise RuntimeError("network module used before net_module_init")
+        if self.core.sim.tracing:
+            self.core.sim.record("mpich2.netmod_poll", rank=self.core.rank,
+                                 rail=frame.rail, size=frame.size)
         yield from self.core.handle_pw(frame.payload, frame.rail)
         # drain every CH3 packet NewMadeleine has buffered
         while True:

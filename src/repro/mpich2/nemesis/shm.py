@@ -89,6 +89,9 @@ class NemesisShm:
         cells = yield from self._pools[src_rank].acquire(size)
         ncells = self.cells_for(size)
         copy_in = self.mem.copy_time(size) + ncells * self.costs.enqueue_cost
+        if self.sim.tracing:
+            self.sim.record("mpich2.shm_send", src=src_rank, dst=dst_rank,
+                            size=size, cells=ncells, dur=copy_in)
         yield self.sim.timeout(copy_in)
         self.messages += 1
         msg = ShmMessage(src_rank, dst_rank, env, size, cells=cells)

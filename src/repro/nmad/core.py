@@ -194,12 +194,22 @@ class NmadCore:
         self._send_seq[key] = req.seq + 1
         self.sent_messages += 1
 
+        eager = size <= self.costs.eager_threshold and not sync
+        rdv_id = 0 if eager else next_rdv_id()
+        if self.sim.tracing:
+            self.sim.record(
+                "nmad.send_post", src=self.rank, dst=dst_rank, tag=tag,
+                seq=req.seq, size=size, proto="eager" if eager else "rdv",
+                rdv=rdv_id,
+                dur=self.costs.send_post
+                + (self.mem.copy_time(size) if eager else 0.0),
+            )
         yield self.sim.timeout(self.costs.send_post)
         dst_node = self.rank_to_node(dst_rank)
         # Submission is deferred to the next progress point (pump=False):
         # without a progress thread nothing moves while the application
         # computes; PIOMan offloads the pump to an idle core (Fig. 7).
-        if size <= self.costs.eager_threshold and not sync:
+        if eager:
             # eager: data is copied into the packet wrapper now
             yield self.sim.timeout(self.mem.copy_time(size))
             self.strategy.push(SendItem(
@@ -208,7 +218,6 @@ class NmadCore:
                 data=data, req=req,
             ), pump=False)
         else:
-            rdv_id = next_rdv_id()
             self._rdv_send[rdv_id] = _RdvSend(req, remaining_inject=size)
             self.strategy.push(SendItem(
                 kind="rts", dst_rank=dst_rank, dst_node=dst_node,
@@ -231,6 +240,9 @@ class NmadCore:
                 "use probe() + irecv() as the MPICH2 module does (Section 3.2)"
             )
         req = NmadRequest(self.sim, "recv", src_rank, tag, size or 0)
+        if self.sim.tracing:
+            self.sim.record("nmad.recv_post", rank=self.rank, src=src_rank,
+                            tag=tag, dur=self.costs.recv_post)
         yield self.sim.timeout(self.costs.recv_post)
         idx = self._find_unexpected(src_rank, tag)
         if idx is None:
@@ -279,6 +291,12 @@ class NmadCore:
         yield self.sim.timeout(self.costs.match_cost)
         req = self._match_posted(entry.src_rank, entry.tag)
         if req is None:
+            if self.sim.tracing:
+                self.sim.record(
+                    "nmad.unexpected", kind="eager", src=entry.src_rank,
+                    dst=self.rank, tag=entry.tag, seq=entry.seq,
+                    size=entry.size, depth=len(self.unexpected) + 1,
+                )
             self.unexpected.append(_Unexpected(
                 kind="eager", src_rank=entry.src_rank, tag=entry.tag,
                 seq=entry.seq, size=entry.size, data=entry.data,
@@ -286,6 +304,13 @@ class NmadCore:
             ))
             return
         self._check_seq(entry.src_rank, entry.tag, entry.seq)
+        if self.sim.tracing:
+            self.sim.record(
+                "nmad.eager_rx", src=entry.src_rank, dst=self.rank,
+                tag=entry.tag, seq=entry.seq, size=entry.size,
+                dur=(self.mem.copy_time(entry.size)
+                     + self.costs.upper_complete_cost),
+            )
         # copy out of the packet wrapper into the user buffer
         yield self.sim.timeout(self.mem.copy_time(entry.size))
         yield self.sim.timeout(self.costs.upper_complete_cost)
@@ -297,6 +322,12 @@ class NmadCore:
         yield self.sim.timeout(self.costs.rdv_handshake_cost)
         req = self._match_posted(entry.src_rank, entry.tag)
         if req is None:
+            if self.sim.tracing:
+                self.sim.record(
+                    "nmad.unexpected", kind="rts", src=entry.src_rank,
+                    dst=self.rank, tag=entry.tag, seq=entry.seq,
+                    size=entry.size, depth=len(self.unexpected) + 1,
+                )
             self.unexpected.append(_Unexpected(
                 kind="rts", src_rank=entry.src_rank, tag=entry.tag,
                 seq=entry.seq, size=entry.size, rdv_id=entry.rdv_id,
@@ -304,12 +335,22 @@ class NmadCore:
             ))
             return
         self._check_seq(entry.src_rank, entry.tag, entry.seq)
+        if self.sim.tracing:
+            self.sim.record(
+                "nmad.rts_rx", src=entry.src_rank, dst=self.rank,
+                tag=entry.tag, seq=entry.seq, size=entry.size,
+                rdv=entry.rdv_id, dur=self.costs.rdv_handshake_cost,
+            )
         yield from self._grant_rdv(req, entry.src_rank, entry.size, entry.rdv_id)
 
     def _grant_rdv(self, req: NmadRequest, src_rank: int, size: int, rdv_id: int):
         """Register the receive buffer and send clear-to-send."""
         req.size = size
-        yield self.sim.timeout(self.registrar.cost(("rx", req.req_id), size))
+        reg_cost = self.registrar.cost(("rx", req.req_id), size)
+        if self.sim.tracing:
+            self.sim.record("nmad.rdv_grant", rdv=rdv_id, src=src_rank,
+                            dst=self.rank, size=size, dur=reg_cost)
+        yield self.sim.timeout(reg_cost)
         self._rdv_recv[rdv_id] = _RdvRecv(req, remaining=size)
         self.strategy.push(SendItem(
             kind="cts", dst_rank=src_rank, dst_node=self.rank_to_node(src_rank),
@@ -323,7 +364,14 @@ class NmadCore:
             raise ProtocolError(f"CTS for unknown rendezvous {entry.rdv_id}")
         req = state.req
         # on-the-fly registration of the send buffer: no cache (paper 4.1.1)
-        yield self.sim.timeout(self.registrar.cost(("tx", req.req_id), req.size))
+        reg_cost = self.registrar.cost(("tx", req.req_id), req.size)
+        if self.sim.tracing:
+            self.sim.record(
+                "nmad.cts_rx", rdv=entry.rdv_id, src=self.rank,
+                dst=req.peer, size=req.size,
+                dur=self.costs.rdv_handshake_cost + reg_cost,
+            )
+        yield self.sim.timeout(reg_cost)
         self.strategy.push(SendItem(
             kind="data", dst_rank=req.peer, dst_node=self.rank_to_node(req.peer),
             size=req.size, src_rank=self.rank, rdv_id=entry.rdv_id,
@@ -337,12 +385,24 @@ class NmadCore:
         state = self._rdv_recv.get(entry.rdv_id)
         if state is None:
             raise ProtocolError(f"data for unknown rendezvous {entry.rdv_id}")
+        if self.sim.tracing:
+            self.sim.record("nmad.data_rx", rdv=entry.rdv_id, rail=rail,
+                            dst=self.rank, size=entry.size,
+                            remaining=state.remaining - entry.size)
         if entry.data is not None:
             state.data = entry.data
         state.remaining -= entry.size
         if state.remaining < 0:
             raise ProtocolError(f"rendezvous {entry.rdv_id} overran its size")
         if state.remaining == 0:
+            if self.sim.tracing:
+                self.sim.record(
+                    "nmad.rdv_complete", rdv=entry.rdv_id,
+                    src=state.req.peer, dst=self.rank, tag=state.req.tag,
+                    size=state.req.size,
+                    dur=(self.costs.match_cost
+                         + self.costs.upper_complete_cost),
+                )
             yield self.sim.timeout(self.costs.match_cost
                                    + self.costs.upper_complete_cost)
             del self._rdv_recv[entry.rdv_id]
@@ -385,6 +445,16 @@ class NmadCore:
 
     def _consume_unexpected(self, req: NmadRequest, ux: _Unexpected):
         self._check_seq(ux.src_rank, ux.tag, ux.seq)
+        if self.sim.tracing:
+            dur = 0.0
+            if ux.kind == "eager":
+                dur = (self.costs.match_cost + self.costs.upper_complete_cost
+                       + self.mem.copy_time(ux.size))
+            self.sim.record(
+                "nmad.unexpected_match", kind=ux.kind, src=ux.src_rank,
+                dst=self.rank, tag=ux.tag, seq=ux.seq, size=ux.size,
+                residency=self.sim.now - ux.arrival, dur=dur,
+            )
         if ux.kind == "eager":
             yield self.sim.timeout(self.costs.match_cost
                                    + self.costs.upper_complete_cost)
@@ -401,6 +471,9 @@ class NmadCore:
             return
         key = (src_rank, tag)
         expected = self._recv_seq.get(key, 0)
+        if self.sim.tracing:
+            self.sim.record("nmad.seq_check", rank=self.rank, src=src_rank,
+                            tag=tag, seq=seq, expected=expected)
         if seq != expected:
             raise ProtocolError(
                 f"out-of-order match on rank {self.rank}: (src={src_rank}, "

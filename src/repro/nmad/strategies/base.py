@@ -16,6 +16,23 @@ from repro.nmad.packet import (
 )
 
 
+def entry_summary(entry):
+    """``(kind, src_rank, dst_rank, tag, seq, rdv_id)`` of a pw entry.
+
+    The tuple is what ``strategy.pw_built`` trace records carry so the
+    observability layer can correlate packet wrappers back to messages.
+    """
+    if isinstance(entry, EagerEntry):
+        return ("eager", entry.src_rank, entry.dst_rank, entry.tag,
+                entry.seq, 0)
+    if isinstance(entry, RtsEntry):
+        return ("rts", entry.src_rank, entry.dst_rank, entry.tag,
+                entry.seq, entry.rdv_id)
+    if isinstance(entry, CtsEntry):
+        return ("cts", entry.src_rank, entry.dst_rank, None, 0, entry.rdv_id)
+    return ("data", entry.src_rank, entry.dst_rank, None, 0, entry.rdv_id)
+
+
 @dataclass
 class SendItem:
     """One pending unit of outgoing work awaiting NIC submission."""
@@ -59,6 +76,12 @@ class DefaultStrategy:
             self.queue.appendleft(item)
         else:
             self.queue.append(item)
+        if self.core.sim.tracing:
+            self.core.sim.record(
+                "strategy.push", strategy=self.name, kind=item.kind,
+                src=item.src_rank, dst=item.dst_rank, size=item.size,
+                rdv=item.rdv_id, priority=priority, pending=len(self.queue),
+            )
         if pump:
             self.pump()
 
@@ -91,6 +114,13 @@ class DefaultStrategy:
         if pw is None:
             return False
         self.pws_built += 1
+        if self.core.sim.tracing:
+            self.core.sim.record(
+                "strategy.pw_built", strategy=self.name, rail=driver.name,
+                node=self.core.node_id, pw=pw.pw_id,
+                entries=len(pw.entries), wire_size=pw.wire_size,
+                msgs=[entry_summary(e) for e in pw.entries],
+            )
         self.core.post_pw(driver, pw)
         return True
 

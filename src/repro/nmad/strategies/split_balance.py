@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.nmad.drivers.base import NmadDriver
 from repro.nmad.packet import DataEntry, PacketWrapper
 from repro.nmad.strategies.aggreg import AggregStrategy
-from repro.nmad.strategies.base import SendItem
+from repro.nmad.strategies.base import SendItem, entry_summary
 
 
 class SplitBalanceStrategy(AggregStrategy):
@@ -39,6 +39,12 @@ class SplitBalanceStrategy(AggregStrategy):
             return False
         self.queue.popleft()
         shares = self.core.sampler.split(free, item.size)
+        if self.core.sim.tracing:
+            self.core.sim.record(
+                "strategy.split", strategy=self.name, rdv=item.rdv_id,
+                src=item.src_rank, dst=item.dst_rank, size=item.size,
+                shares=[(drv.name, chunk) for drv, chunk in shares],
+            )
         # the message payload object rides on the largest chunk
         carrier = max(range(len(shares)), key=lambda i: shares[i][1])
         for i, (drv, chunk) in enumerate(shares):
@@ -51,5 +57,12 @@ class SplitBalanceStrategy(AggregStrategy):
                 data=item.data if i == carrier else None,
             ))
             self.pws_built += 1
+            if self.core.sim.tracing:
+                self.core.sim.record(
+                    "strategy.pw_built", strategy=self.name, rail=drv.name,
+                    node=self.core.node_id, pw=pw.pw_id, entries=1,
+                    wire_size=pw.wire_size,
+                    msgs=[entry_summary(pw.entries[0])],
+                )
             self.core.post_pw(drv, pw)
         return True

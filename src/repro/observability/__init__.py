@@ -1,0 +1,50 @@
+"""Observability: trace taxonomy, metrics, Perfetto export, breakdowns.
+
+The measurement layer of the reproduction (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`~repro.observability.taxonomy` — the documented
+  ``<layer>.<event>`` trace-category taxonomy;
+* :mod:`~repro.observability.metrics` — a counters/gauges/histograms
+  registry fed live from trace records;
+* :mod:`~repro.observability.perfetto` — Chrome trace-event / Perfetto
+  JSON export;
+* :mod:`~repro.observability.breakdown` — per-message critical-path
+  latency attribution across the stack layers.
+"""
+
+from repro.observability.breakdown import (
+    BreakdownSummary,
+    MessageLife,
+    format_breakdown,
+    message_lives,
+    summarize_breakdown,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceMetrics,
+    attach_metrics,
+)
+from repro.observability.perfetto import to_perfetto, write_perfetto
+from repro.observability.taxonomy import CATEGORIES, LAYERS, layer_of
+
+__all__ = [
+    "BreakdownSummary",
+    "MessageLife",
+    "format_breakdown",
+    "message_lives",
+    "summarize_breakdown",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceMetrics",
+    "attach_metrics",
+    "to_perfetto",
+    "write_perfetto",
+    "CATEGORIES",
+    "LAYERS",
+    "layer_of",
+]

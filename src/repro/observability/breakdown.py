@@ -1,0 +1,241 @@
+"""Per-message critical-path latency attribution.
+
+Reconstructs each message's life from trace records and attributes its
+end-to-end latency to the stack layers it crossed:
+
+* ``mpich2 (send)`` — CH3 entry until the NewMadeleine submission
+* ``nmad (send)`` — nm_sr_isend software path (+ eager copy-in)
+* ``strategy (queue)`` — waiting in the optimization window for
+  window space / a progress pump
+* ``network`` — injection, wire time, and progress-engine dispatch
+  until the receive side acts on the message
+* ``nmad (rendezvous)`` — RTS/CTS handshake work (registration costs)
+* ``nmad (recv)`` — receive-side matching, copy-out, upper completion
+
+The correlation keys are the ones the instrumentation carries:
+``(src, dst, tag, seq)`` for message-level records, the rendezvous id
+for RTS/CTS/DATA records, and the per-entry summaries inside
+``strategy.pw_built`` records to see through aggregation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.simulator.tracing import Trace
+
+#: attribution order (send side to receive side)
+SEGMENT_ORDER = (
+    "mpich2 (send)",
+    "nmad (send)",
+    "strategy (queue)",
+    "network",
+    "nmad (rendezvous)",
+    "nmad (recv)",
+)
+
+
+@dataclass
+class MessageLife:
+    """Timestamps of one message's journey through the stack."""
+
+    src: int
+    dst: int
+    tag: Any
+    seq: int
+    size: int
+    proto: str                      # "eager" | "rdv"
+    rdv: int = 0
+    t_mpi_send: Optional[float] = None
+    t_post: float = 0.0             # nmad.send_post
+    dur_send: float = 0.0
+    t_pw: Optional[float] = None    # packet wrapper built (eager/rts out)
+    t_rts_rx: Optional[float] = None
+    t_grant: Optional[float] = None
+    dur_grant: float = 0.0
+    t_cts_rx: Optional[float] = None
+    dur_cts: float = 0.0
+    t_done: Optional[float] = None  # receive-side match / last chunk
+    dur_recv: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.t_done is not None
+
+    @property
+    def t_start(self) -> float:
+        return self.t_mpi_send if self.t_mpi_send is not None else self.t_post
+
+    @property
+    def total(self) -> float:
+        """End-to-end latency: CH3 entry to receive completion."""
+        if not self.complete:
+            return 0.0
+        return self.t_done + self.dur_recv - self.t_start
+
+    def segments(self) -> "OrderedDict[str, float]":
+        """Latency attributed to each layer (zeros clamped, summing to
+        :attr:`total` up to unattributed residue folded into network)."""
+        out: "OrderedDict[str, float]" = OrderedDict(
+            (name, 0.0) for name in SEGMENT_ORDER)
+        if not self.complete:
+            return out
+        if self.t_mpi_send is not None:
+            out["mpich2 (send)"] = max(0.0, self.t_post - self.t_mpi_send)
+        out["nmad (send)"] = self.dur_send
+        sent = self.t_post + self.dur_send
+        injected = self.t_pw if self.t_pw is not None else sent
+        out["strategy (queue)"] = max(0.0, injected - sent)
+        out["nmad (recv)"] = self.dur_recv
+        if self.proto == "eager" or self.t_rts_rx is None:
+            out["network"] = max(0.0, self.t_done - injected)
+        else:
+            rts_wire = max(0.0, self.t_rts_rx - injected)
+            granted = (self.t_grant + self.dur_grant
+                       if self.t_grant is not None else self.t_rts_rx)
+            handshake = max(0.0, granted - self.t_rts_rx) + self.dur_cts
+            if self.t_cts_rx is not None:
+                cts_wire = max(0.0, self.t_cts_rx - granted)
+                data_wire = max(0.0, self.t_done
+                                - (self.t_cts_rx + self.dur_cts))
+            else:
+                cts_wire = 0.0
+                data_wire = max(0.0, self.t_done - granted - self.dur_cts)
+            out["nmad (rendezvous)"] = handshake
+            out["network"] = rts_wire + cts_wire + data_wire
+        return out
+
+
+def message_lives(trace: Trace) -> List[MessageLife]:
+    """Reconstruct every message whose send was traced (time order)."""
+    lives: List[MessageLife] = []
+    by_key: Dict[Tuple, MessageLife] = {}
+    by_rdv: Dict[int, MessageLife] = {}
+    # mpich2.send records awaiting their nmad.send_post, per (src, dst)
+    pending_mpi: Dict[Tuple[int, int], deque] = {}
+
+    for rec in trace.records:
+        cat, data, t = rec.category, rec.data, rec.time
+        if cat == "mpich2.send":
+            if data.get("path") in ("direct", "netmod"):
+                pending_mpi.setdefault(
+                    (data["src"], data["dst"]), deque()).append(t)
+        elif cat == "nmad.send_post":
+            life = MessageLife(
+                src=data["src"], dst=data["dst"], tag=data["tag"],
+                seq=data["seq"], size=data["size"], proto=data["proto"],
+                rdv=data.get("rdv", 0), t_post=t,
+                dur_send=data.get("dur", 0.0),
+            )
+            queue = pending_mpi.get((life.src, life.dst))
+            if queue:
+                life.t_mpi_send = queue.popleft()
+            lives.append(life)
+            by_key[(life.src, life.dst, _tag_key(life.tag), life.seq)] = life
+            if life.proto == "rdv":  # rdv ids start at 0: don't truth-test
+                by_rdv[life.rdv] = life
+        elif cat == "strategy.pw_built":
+            for entry in data.get("msgs", ()):
+                kind, src, dst, tag, seq, rdv = entry
+                if kind in ("eager", "rts"):
+                    life = by_key.get((src, dst, _tag_key(tag), seq))
+                elif kind == "data":
+                    life = by_rdv.get(rdv)
+                else:
+                    life = None
+                if life is not None and life.t_pw is None:
+                    life.t_pw = t
+        elif cat == "nmad.rts_rx":
+            life = by_rdv.get(data.get("rdv", 0))
+            if life is not None:
+                life.t_rts_rx = t
+        elif cat == "nmad.rdv_grant":
+            life = by_rdv.get(data.get("rdv", 0))
+            if life is not None:
+                life.t_grant = t
+                life.dur_grant = data.get("dur", 0.0)
+        elif cat == "nmad.cts_rx":
+            life = by_rdv.get(data.get("rdv", 0))
+            if life is not None:
+                life.t_cts_rx = t
+                life.dur_cts = data.get("dur", 0.0)
+        elif cat == "nmad.rdv_complete":
+            life = by_rdv.get(data.get("rdv", 0))
+            if life is not None and life.t_done is None:
+                life.t_done = t
+                life.dur_recv = data.get("dur", 0.0)
+        elif cat in ("nmad.eager_rx", "nmad.unexpected_match"):
+            if cat == "nmad.unexpected_match" and data.get("kind") != "eager":
+                # an unexpected RTS resolves through rdv_grant/rdv_complete
+                continue
+            life = by_key.get((data["src"], data["dst"],
+                               _tag_key(data["tag"]), data["seq"]))
+            if life is not None and life.t_done is None:
+                life.t_done = t
+                life.dur_recv = data.get("dur", 0.0)
+    return lives
+
+
+def _tag_key(tag: Any) -> str:
+    """Hash-safe identity for arbitrary (possibly unhashable) tags."""
+    return repr(tag)
+
+
+@dataclass
+class BreakdownSummary:
+    """Aggregated per-layer attribution over a set of message lives."""
+
+    messages: int = 0
+    eager: int = 0
+    rdv: int = 0
+    total_latency: float = 0.0
+    per_layer: "OrderedDict[str, float]" = field(
+        default_factory=lambda: OrderedDict(
+            (name, 0.0) for name in SEGMENT_ORDER))
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.messages if self.messages else 0.0
+
+
+def summarize_breakdown(lives: List[MessageLife]) -> BreakdownSummary:
+    """Sum each completed message's layer attribution."""
+    out = BreakdownSummary()
+    for life in lives:
+        if not life.complete:
+            continue
+        out.messages += 1
+        if life.proto == "eager":
+            out.eager += 1
+        else:
+            out.rdv += 1
+        out.total_latency += life.total
+        for name, value in life.segments().items():
+            out.per_layer[name] += value
+    return out
+
+
+def format_breakdown(lives: List[MessageLife]) -> str:
+    """A per-layer latency table (mean per message and share)."""
+    summary = summarize_breakdown(lives)
+    if not summary.messages:
+        return "(no completed traced messages)"
+    attributed = sum(summary.per_layer.values())
+    lines = [
+        f"{summary.messages} messages traced end-to-end "
+        f"({summary.eager} eager, {summary.rdv} rendezvous), "
+        f"mean latency {summary.mean_latency * 1e6:.2f} us",
+        f"{'layer':<22} {'mean us/msg':>12} {'share':>8}",
+    ]
+    for name, total in summary.per_layer.items():
+        mean = total / summary.messages
+        share = total / attributed if attributed else 0.0
+        lines.append(f"{name:<22} {mean * 1e6:>12.3f} {share:>7.1%}")
+    residue = summary.total_latency - attributed
+    if summary.messages and abs(residue) > 1e-12:
+        lines.append(f"{'(unattributed)':<22} "
+                     f"{residue / summary.messages * 1e6:>12.3f} "
+                     f"{residue / summary.total_latency:>7.1%}")
+    return "\n".join(lines)

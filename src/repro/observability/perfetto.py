@@ -1,0 +1,134 @@
+"""Chrome trace-event / Perfetto JSON export of simulation traces.
+
+The output is the classic ``{"traceEvents": [...]}`` JSON the Perfetto
+UI (https://ui.perfetto.dev) and ``chrome://tracing`` both load:
+
+* one *process* track group per stack layer (``nic``, ``nmad``,
+  ``strategy``, ``pioman``, ``mpich2``), in bottom-up stack order;
+* one *thread* track per emitting entity within the layer (a rank, a
+  node, or a node+rail pair);
+* records carrying a ``dur`` field become complete (``"X"``) slices
+  spanning the simulated work they charge; the rest become instant
+  (``"i"``) events;
+* ``strategy.push`` and ``nmad.unexpected`` additionally emit counter
+  (``"C"``) tracks for the optimization-window and unexpected-queue
+  depths.
+
+Timestamps are microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.observability.taxonomy import LAYERS, layer_of
+from repro.simulator.tracing import Trace
+
+#: categories whose record's local entity is named by this data key
+#: (fallback: first of ``rank``/``dst``/``src`` present)
+_LOCAL_KEY = {
+    "nmad.send_post": "src",
+    "nmad.cts_rx": "src",
+    "mpich2.send": "src",
+    "mpich2.shm_send": "src",
+}
+
+#: (category, data key, counter name) -> emitted counter tracks
+_COUNTERS = (
+    ("strategy.push", "pending", "strategy window depth"),
+    ("nmad.unexpected", "depth", "unexpected queue depth"),
+)
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a record data value JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _track_name(category: str, data: Dict[str, Any]) -> str:
+    """The thread-track label of one record within its layer."""
+    layer = layer_of(category)
+    if layer in ("nic", "pioman", "strategy"):
+        node = data.get("node", "?")
+        rail = data.get("rail")
+        return f"node{node} {rail}" if rail else f"node{node}"
+    key = _LOCAL_KEY.get(category)
+    if key is None:
+        for k in ("rank", "dst", "src"):
+            if k in data:
+                key = k
+                break
+    return f"rank{data.get(key, '?')}" if key else "events"
+
+
+def to_perfetto(trace: Trace) -> Dict[str, Any]:
+    """Convert a trace into a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+
+    def pid_of(layer: str) -> int:
+        pid = pids.get(layer)
+        if pid is None:
+            # keep documented layers in stack order; unknown ones after
+            pid = (LAYERS.index(layer) + 1 if layer in LAYERS
+                   else len(LAYERS) + 1 + len([p for p in pids
+                                               if p not in LAYERS]))
+            pids[layer] = pid
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": layer}})
+            events.append({"name": "process_sort_index", "ph": "M",
+                           "pid": pid, "tid": 0, "args": {"sort_index": pid}})
+        return pid
+
+    def tid_of(pid: int, track: str) -> int:
+        tid = tids.get((pid, track))
+        if tid is None:
+            tid = len([1 for p, _t in tids if p == pid]) + 1
+            tids[(pid, track)] = tid
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": track}})
+        return tid
+
+    for rec in trace.records:
+        layer = layer_of(rec.category)
+        pid = pid_of(layer)
+        tid = tid_of(pid, _track_name(rec.category, rec.data))
+        ts = rec.time * 1e6
+        args = {k: _sanitize(v) for k, v in rec.data.items()}
+        dur = rec.data.get("dur")
+        if dur is not None and dur > 0:
+            events.append({"name": rec.category, "cat": layer, "ph": "X",
+                           "ts": ts, "dur": dur * 1e6,
+                           "pid": pid, "tid": tid, "args": args})
+        else:
+            events.append({"name": rec.category, "cat": layer, "ph": "i",
+                           "ts": ts, "s": "t",
+                           "pid": pid, "tid": tid, "args": args})
+        for category, key, counter in _COUNTERS:
+            if rec.category == category and key in rec.data:
+                events.append({"name": counter, "cat": layer, "ph": "C",
+                               "ts": ts, "pid": pid, "tid": 0,
+                               "args": {"depth": rec.data[key]}})
+
+    # stable ts order keeps the file loadable and diffable
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": {"generator": "repro.observability.perfetto",
+                          "time_unit": "us of simulated time"}}
+
+
+def write_perfetto(trace: Trace, path: str,
+                   indent: Optional[int] = None) -> str:
+    """Write the Perfetto JSON for ``trace`` to ``path``; returns it."""
+    doc = to_perfetto(trace)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=indent)
+    return path

@@ -1,0 +1,83 @@
+"""The trace-category taxonomy of the simulated stack.
+
+Every ``sim.record`` call site uses a category named
+``<layer>.<event>``; the prefix before the first dot identifies the
+emitting layer.  This module is the single source of truth: tests
+assert instrumented code emits only documented categories, and the
+Perfetto exporter uses :data:`LAYERS` to lay out one track group per
+layer.
+
+See ``docs/OBSERVABILITY.md`` for the prose version with the metrics
+glossary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: layer track order (bottom-up through the stack)
+LAYERS: Tuple[str, ...] = ("nic", "nmad", "strategy", "pioman", "mpich2")
+
+#: category -> one-line description.  Common data keys: ``src``/``dst``
+#: (ranks), ``tag``, ``seq``, ``size`` (payload bytes), ``rdv``
+#: (rendezvous id), ``dur`` (simulated seconds of work charged at/after
+#: the record), ``rail`` (NIC name).
+CATEGORIES: Dict[str, str] = {
+    # -- hardware (NIC / fabric) ---------------------------------------
+    "nic.tx": "frame injection posted on a NIC transmit engine "
+              "(dur = injection time, queued = tx-engine backlog delay)",
+    "nic.rx": "frame delivered into a NIC receive queue",
+    # -- NewMadeleine core ---------------------------------------------
+    "nmad.send_post": "nm_sr_isend submitted (proto = eager|rdv)",
+    "nmad.recv_post": "nm_sr_irecv submitted",
+    "nmad.eager_rx": "eager entry matched a posted receive "
+                     "(dur = copy-out + upper completion)",
+    "nmad.rts_rx": "rendezvous request-to-send matched a posted receive",
+    "nmad.rdv_grant": "receive buffer registered and CTS queued "
+                      "(dur = memory registration)",
+    "nmad.cts_rx": "clear-to-send received by the sender "
+                   "(dur = handshake + send-buffer registration)",
+    "nmad.data_rx": "one rendezvous data chunk arrived "
+                    "(remaining = bytes still in flight)",
+    "nmad.rdv_complete": "last rendezvous chunk arrived; receive completes",
+    "nmad.unexpected": "arrived message had no posted receive; queued "
+                       "(depth = unexpected-queue depth after insert)",
+    "nmad.unexpected_match": "posted receive consumed an unexpected message "
+                             "(residency = time it sat in the queue)",
+    "nmad.seq_check": "per-(source, tag) message-ordering check",
+    # -- strategy (optimization window) --------------------------------
+    "strategy.push": "send item queued in the optimization window "
+                     "(pending = window depth after push)",
+    "strategy.pw_built": "packet wrapper built and posted on a rail "
+                         "(entries = aggregation factor, msgs = entry keys)",
+    "strategy.split": "large rendezvous payload striped across rails "
+                      "(shares = [(rail, bytes), ...])",
+    # -- PIOMan --------------------------------------------------------
+    "pioman.poll": "worker woke to drain ltasks (mode = idle_core|wait_core)",
+    "pioman.ltask": "one background ltask dispatched",
+    "pioman.sem_wait": "application thread blocked on a semaphore, "
+                       "releasing its core",
+    "pioman.sem_wake": "semaphore wait satisfied (waited = blocked time)",
+    # -- MPICH2 (CH3 / Nemesis) ----------------------------------------
+    "mpich2.send": "MPID_Send entered (path = shm|direct|netmod)",
+    "mpich2.recv_post": "MPID_Recv posted (src may be 'ANY')",
+    "mpich2.cell_copy": "payload copied into/out of a Nemesis queue cell "
+                        "(dir = in|out)",
+    "mpich2.netmod_handoff": "CH3 packet crossed the network-module "
+                             "interface (dir = tx|rx, kind = eager|rts|cts)",
+    "mpich2.netmod_poll": "net_module_poll invoked for an arrived frame",
+    "mpich2.anysource_scan": "ANY_SOURCE request-list probe of NewMadeleine "
+                             "(hit = a matching message was buffered)",
+    "mpich2.shm_send": "message copied into the shared-memory queue cells",
+    "mpich2.shm_recv": "message copied out of the shared-memory queue cells",
+}
+
+
+def layer_of(category: str) -> str:
+    """The emitting layer of a category (its prefix before the dot)."""
+    return category.split(".", 1)[0]
+
+
+def categories_of_layer(layer: str) -> Tuple[str, ...]:
+    """All documented categories a layer emits."""
+    return tuple(c for c in CATEGORIES if layer_of(c) == layer)

@@ -76,14 +76,24 @@ class PIOMan:
             if not self.scheduler.try_acquire_core():
                 # Fully loaded node: wait until a core frees up
                 # (a thread blocked or finished) — "context switch" progression.
+                if self.sim.tracing:
+                    self.sim.record("pioman.poll", node=self.scheduler.node_id,
+                                    mode="wait_core", pending=len(self._queue))
                 yield self.scheduler.acquire_core()
             else:
                 # Idle core available: model the polling granularity.
+                if self.sim.tracing:
+                    self.sim.record("pioman.poll", node=self.scheduler.node_id,
+                                    mode="idle_core", pending=len(self._queue))
                 yield self.sim.timeout(self.params.poll_period)
             # Drain everything currently queued in one core acquisition.
             while self._queue:
                 work = self._queue.popleft()
                 self.ltasks_run += 1
+                if self.sim.tracing:
+                    self.sim.record("pioman.ltask", node=self.scheduler.node_id,
+                                    pending=len(self._queue),
+                                    dur=self.params.ltask_cost)
                 yield self.sim.timeout(self.params.ltask_cost)
                 yield from work()
             self.scheduler.release_core()
@@ -99,7 +109,14 @@ class PIOMan:
         """
         if event.triggered:
             return
+        if self.sim.tracing:
+            self.sim.record("pioman.sem_wait", node=self.scheduler.node_id)
         self.scheduler.release_core()
+        blocked_at = self.sim.now
         yield event
+        if self.sim.tracing:
+            self.sim.record("pioman.sem_wake", node=self.scheduler.node_id,
+                            waited=self.sim.now - blocked_at,
+                            dur=self.params.wakeup_cost)
         yield self.sim.timeout(self.params.wakeup_cost)
         yield self.scheduler.acquire_core()

@@ -64,6 +64,10 @@ class Simulator:
         self._now = 0.0
         self._running_tasks = 0
         self._failed_tasks: list = []
+        self._trace: Optional[Trace] = None
+        #: truthy fast-path flag: hot call sites check this before even
+        #: building the kwargs dict for :meth:`record`
+        self.tracing = False
         self.trace = trace
 
     # ------------------------------------------------------------------
@@ -171,7 +175,17 @@ class Simulator:
     # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Optional[Trace]:
+        """The attached :class:`Trace` recorder (None = tracing off)."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace: Optional[Trace]) -> None:
+        self._trace = trace
+        self.tracing = trace is not None
+
     def record(self, category: str, **data: Any) -> None:
         """Emit a trace record if tracing is enabled (cheap no-op otherwise)."""
-        if self.trace is not None:
-            self.trace.append(self._now, category, data)
+        if self._trace is not None:
+            self._trace.append(self._now, category, data)

@@ -4,11 +4,24 @@ Tracing is opt-in: construct a :class:`Trace` and pass it to the
 :class:`~repro.simulator.engine.Simulator`.  Subsystems then emit
 records through ``sim.record(category, **data)``.  Records are cheap
 named tuples; filtering helpers make assertions in tests readable.
+
+Hot call sites guard on the simulator's truthy ``sim.tracing`` flag so
+that a disabled trace costs exactly one attribute check (no kwargs
+dict is built).
+
+Category names follow the ``<layer>.<event>`` taxonomy documented in
+:mod:`repro.observability.taxonomy` (and ``docs/OBSERVABILITY.md``):
+the prefix before the first dot names the emitting layer (``nic``,
+``nmad``, ``strategy``, ``pioman``, ``mpich2``).
+
+Live consumers (e.g. the metrics registry of
+:mod:`repro.observability.metrics`) attach through :meth:`Trace.subscribe`
+and see every record as it is appended.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional
 
 
 class TraceRecord(NamedTuple):
@@ -18,17 +31,35 @@ class TraceRecord(NamedTuple):
 
 
 class Trace:
-    """An append-only log of :class:`TraceRecord`."""
+    """An append-only log of :class:`TraceRecord`.
+
+    A per-category index is maintained on append, so
+    :meth:`filter`/:meth:`count` cost O(matches) instead of scanning
+    the whole record list.
+    """
 
     def __init__(self, categories: Optional[set] = None):
         #: restrict recording to these categories (None = record all)
         self.categories = categories
         self.records: List[TraceRecord] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
 
     def append(self, time: float, category: str, data: Dict[str, Any]) -> None:
         if self.categories is not None and category not in self.categories:
             return
-        self.records.append(TraceRecord(time, category, data))
+        rec = TraceRecord(time, category, data)
+        self.records.append(rec)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            bucket = self._by_category[category] = []
+        bucket.append(rec)
+        for fn in self._subscribers:
+            fn(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Call ``fn(record)`` for every record appended from now on."""
+        self._subscribers.append(fn)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -36,15 +67,19 @@ class Trace:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
+    def categories_seen(self) -> List[str]:
+        """Every category with at least one record, in first-seen order."""
+        return list(self._by_category)
+
     def filter(self, category: str, **match: Any) -> List[TraceRecord]:
         """Records of ``category`` whose data contains all of ``match``."""
-        out = []
-        for rec in self.records:
-            if rec.category != category:
-                continue
-            if all(rec.data.get(k) == v for k, v in match.items()):
-                out.append(rec)
-        return out
+        recs = self._by_category.get(category, [])
+        if not match:
+            return list(recs)
+        return [rec for rec in recs
+                if all(rec.data.get(k) == v for k, v in match.items())]
 
     def count(self, category: str, **match: Any) -> int:
+        if not match:
+            return len(self._by_category.get(category, ()))
         return len(self.filter(category, **match))

@@ -1,0 +1,77 @@
+"""Per-message critical-path latency attribution."""
+
+import pytest
+
+from repro.observability import (format_breakdown, message_lives,
+                                 summarize_breakdown)
+from repro.observability.breakdown import SEGMENT_ORDER
+from repro.workloads.netpipe import pingpong
+
+from tests.observability.helpers import EAGER_SIZE, RDV_SIZE, run_traced
+
+
+def test_eager_lives_complete_and_exactly_attributed():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=3, warmup=0))
+    lives = message_lives(trace)
+    assert len(lives) == 6              # 3 each way
+    for life in lives:
+        assert life.complete
+        assert life.proto == "eager"
+        assert life.total > 0.0
+        # eager attribution is exact: the segments tile the latency
+        assert sum(life.segments().values()) == pytest.approx(life.total)
+
+
+def test_rendezvous_lives_complete():
+    trace = run_traced(pingpong(RDV_SIZE, reps=2, warmup=0))
+    lives = message_lives(trace)
+    assert len(lives) == 4
+    for life in lives:
+        assert life.complete            # incl. rendezvous id 0
+        assert life.proto == "rdv"
+        segs = life.segments()
+        assert segs["network"] > 0.0
+        assert segs["nmad (rendezvous)"] > 0.0
+        # clamped attribution never exceeds the end-to-end latency
+        assert sum(segs.values()) <= life.total + 1e-12
+
+
+def test_mpich2_send_correlated():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=2, warmup=0))
+    for life in message_lives(trace):
+        assert life.t_mpi_send is not None
+        assert life.t_mpi_send <= life.t_post
+
+
+def test_segments_follow_declared_order():
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0))
+    (life, *_rest) = message_lives(trace)
+    assert tuple(life.segments()) == SEGMENT_ORDER
+
+
+def test_summary_counts_protocols():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=EAGER_SIZE)
+            yield from comm.send(1, tag=1, size=RDV_SIZE)
+        else:
+            yield from comm.recv(src=0, tag=0)
+            yield from comm.recv(src=0, tag=1)
+
+    summary = summarize_breakdown(message_lives(run_traced(program)))
+    assert summary.messages == 2
+    assert summary.eager == 1
+    assert summary.rdv == 1
+    assert summary.mean_latency > 0.0
+
+
+def test_format_breakdown_table():
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0))
+    text = format_breakdown(message_lives(trace))
+    assert "messages traced end-to-end" in text
+    for name in SEGMENT_ORDER:
+        assert name in text
+
+
+def test_format_breakdown_empty():
+    assert "no completed" in format_breakdown([])

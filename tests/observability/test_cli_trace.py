@@ -1,0 +1,33 @@
+"""The ``repro trace`` CLI subcommand end-to-end."""
+
+import json
+
+from repro.cli import main
+from repro.observability import LAYERS
+
+
+def test_cli_trace_netpipe(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--stack", "mpich2_nmad_pioman",
+                 "--workload", "netpipe", "--size", "64K",
+                 "--reps", "1", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    for layer in LAYERS:
+        assert layer in text
+    assert "per-layer latency breakdown" in text
+    assert "messages traced end-to-end" in text
+    assert "polls per received message" in text
+    with open(out) as fh:
+        doc = json.load(fh)
+    layers = {e["args"]["name"] for e in doc["traceEvents"]
+              if e["ph"] == "M" and e["name"] == "process_name"}
+    assert set(LAYERS) <= layers
+
+
+def test_cli_trace_overlap(tmp_path, capsys):
+    out = tmp_path / "ov.json"
+    assert main(["trace", "--workload", "overlap", "--size", "64K",
+                 "--reps", "1", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "overlap" in text
+    assert json.load(open(out))["traceEvents"]

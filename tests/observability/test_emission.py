@@ -1,0 +1,129 @@
+"""Every layer emits its documented categories during real transfers."""
+
+from repro import config
+from repro.observability import CATEGORIES, LAYERS, layer_of
+from repro.workloads.netpipe import pingpong
+
+from tests.observability.helpers import EAGER_SIZE, RDV_SIZE, run_traced
+
+
+def test_eager_transfer_emits_all_layers():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=2, warmup=0))
+    cats = set(trace.categories_seen())
+    assert {"mpich2.send", "mpich2.recv_post",
+            "nmad.send_post", "nmad.recv_post",
+            "strategy.push", "strategy.pw_built",
+            "nic.tx", "nic.rx",
+            "pioman.poll", "pioman.ltask"} <= cats
+    # the eager receive lands as eager_rx or via the unexpected queue
+    assert cats & {"nmad.eager_rx", "nmad.unexpected_match"}
+    for rec in trace.filter("nmad.send_post"):
+        assert rec.data["proto"] == "eager"
+        assert rec.data["size"] == EAGER_SIZE
+
+
+def test_rendezvous_transfer_emits_handshake():
+    trace = run_traced(pingpong(RDV_SIZE, reps=2, warmup=0))
+    cats = set(trace.categories_seen())
+    assert {"nmad.rts_rx", "nmad.rdv_grant", "nmad.cts_rx",
+            "nmad.data_rx", "nmad.rdv_complete"} <= cats
+    for rec in trace.filter("nmad.send_post"):
+        assert rec.data["proto"] == "rdv"
+    # RTS -> grant -> CTS -> completion, in causal order per rendezvous
+    for rts in trace.filter("nmad.rts_rx"):
+        rdv = rts.data["rdv"]
+        (grant,) = trace.filter("nmad.rdv_grant", rdv=rdv)
+        (done,) = trace.filter("nmad.rdv_complete", rdv=rdv)
+        assert rts.time <= grant.time <= done.time
+
+
+def test_five_distinct_layers():
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0))
+    layers = {layer_of(c) for c in trace.categories_seen()}
+    assert set(LAYERS) <= layers
+
+
+def test_every_emitted_category_is_documented():
+    for size in (EAGER_SIZE, RDV_SIZE):
+        trace = run_traced(pingpong(size, reps=1, warmup=0))
+        for cat in trace.categories_seen():
+            assert cat in CATEGORIES, f"undocumented category {cat!r}"
+            assert layer_of(cat) in LAYERS
+
+
+def test_seq_check_records_expected_order():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=3, warmup=0))
+    checks = trace.filter("nmad.seq_check")
+    assert checks
+    for rec in checks:
+        assert rec.data["seq"] == rec.data["expected"]
+
+
+def test_unexpected_queue_hit_and_residency():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=7, size=EAGER_SIZE)
+        else:
+            yield from comm.compute(50e-6)   # arrive before the recv posts
+            yield from comm.recv(src=0, tag=7)
+
+    trace = run_traced(program)
+    assert trace.count("nmad.unexpected", kind="eager") >= 1
+    matches = trace.filter("nmad.unexpected_match", kind="eager")
+    assert matches
+    assert all(rec.data["residency"] > 0.0 for rec in matches)
+
+
+def test_anysource_scan_emitted():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=2, warmup=0,
+                                anysource=True))
+    scans = trace.filter("mpich2.anysource_scan")
+    assert scans
+    assert any(rec.data["hit"] for rec in scans)
+
+
+def test_shared_memory_path_emits_shm_categories():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=2, warmup=0),
+                       ranks_per_node=2)
+    assert trace.count("mpich2.shm_send") >= 4      # both directions
+    assert trace.count("mpich2.shm_recv") >= 4
+    assert trace.count("mpich2.send", path="shm") >= 4
+    assert trace.count("nic.tx") == 0               # never hit the wire
+
+
+def test_netmod_path_emits_cell_copies_and_handoffs():
+    trace = run_traced(pingpong(EAGER_SIZE, reps=2, warmup=0),
+                       spec=config.mpich2_nmad_netmod())
+    assert trace.count("mpich2.cell_copy", dir="in") >= 2
+    assert trace.count("mpich2.cell_copy", dir="out") >= 2
+    assert trace.count("mpich2.netmod_handoff", dir="tx", kind="eager") >= 2
+    assert trace.count("mpich2.netmod_handoff", dir="rx") >= 2
+    assert trace.count("mpich2.netmod_poll") >= 1
+
+
+def test_netmod_rendezvous_nested_handshake():
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0),
+                       spec=config.mpich2_nmad_netmod())
+    assert trace.count("mpich2.netmod_handoff", kind="rts") >= 1
+    assert trace.count("mpich2.netmod_handoff", kind="cts") >= 1
+
+
+def test_pioman_semaphore_wait_and_wake():
+    trace = run_traced(pingpong(RDV_SIZE, reps=2, warmup=0))
+    waits = trace.count("pioman.sem_wait")
+    wakes = trace.filter("pioman.sem_wake")
+    assert waits >= 1
+    assert len(wakes) == waits
+    assert all(rec.data["waited"] >= 0.0 for rec in wakes)
+
+
+def test_multirail_split_shares():
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0),
+                       spec=config.mpich2_nmad(rails=("ib", "mx")))
+    splits = trace.filter("strategy.split")
+    assert splits
+    for rec in splits:
+        rails = [rail for rail, _chunk in rec.data["shares"]]
+        assert len(rails) == 2
+        assert sum(chunk for _rail, chunk in rec.data["shares"]) \
+            == rec.data["size"]

@@ -1,0 +1,148 @@
+"""Metrics instruments, the registry, and trace-fed stack metrics."""
+
+import pytest
+
+from repro import config
+from repro.observability import attach_metrics
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         MetricsRegistry)
+from repro.runtime import run_mpi
+from repro.simulator import Trace
+from repro.workloads.netpipe import pingpong
+
+from tests.observability.helpers import EAGER_SIZE, RDV_SIZE
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+def test_counter():
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_gauge_high_water():
+    g = Gauge()
+    g.set(3)
+    g.set(7)
+    g.set(2)
+    assert g.value == 2
+    assert g.high == 7
+
+
+def test_histogram():
+    h = Histogram()
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.total == 6.0
+    assert h.min == 1.0
+    assert h.max == 3.0
+    assert h.mean == 2.0
+    assert Histogram().mean == 0.0
+
+
+def test_registry_get_or_create_and_labels():
+    r = MetricsRegistry()
+    assert r.counter("x") is r.counter("x")
+    r.counter("nic.tx_bytes", "ib").inc(10)
+    r.counter("nic.tx_bytes", "mx").inc(20)
+    assert set(r.labels_of("nic.tx_bytes")) == {"ib", "mx"}
+    with pytest.raises(TypeError):
+        r.gauge("x")            # already a counter
+
+
+def test_registry_snapshot_and_table():
+    r = MetricsRegistry()
+    r.counter("c").inc(2)
+    r.gauge("g").set(5)
+    r.histogram("h").observe(1.5)
+    snap = r.snapshot()
+    assert snap["c"] == {"type": "counter", "value": 2}
+    assert snap["g"]["high"] == 5
+    assert snap["h"]["count"] == 1
+    table = r.format_table()
+    assert "c" in table and "high=5" in table
+
+
+# ---------------------------------------------------------------------------
+# Trace-fed stack metrics
+# ---------------------------------------------------------------------------
+
+def _run_metrics(program, spec=None, **kw):
+    trace = Trace()
+    metrics = attach_metrics(trace)
+    run_mpi(program, 2, spec or config.mpich2_nmad_pioman(),
+            cluster=config.xeon_pair(), trace=trace, **kw)
+    return trace, metrics
+
+
+def test_eager_counts_hand_counted():
+    # rank 0 sends exactly 3 small messages; rank 1 receives 3
+    def program(comm):
+        for i in range(3):
+            if comm.rank == 0:
+                yield from comm.send(1, tag=i, size=EAGER_SIZE)
+            else:
+                yield from comm.recv(src=0, tag=i)
+
+    trace, metrics = _run_metrics(program)
+    r = metrics.registry
+    assert r.counter("nmad.messages_sent").value == 3
+    assert r.counter("nmad.messages_received").value == 3
+    assert r.counter("mpich2.recv_posts").value == 3
+    assert r.counter("mpich2.sends", "direct").value == 3
+    # wire traffic covers at least the 3 payloads, all on the one rail
+    assert r.counter("nic.tx_bytes", "ib").value >= 3 * EAGER_SIZE
+    assert metrics.polls_per_message() > 0
+
+
+def test_two_rail_transfer_bytes_per_rail():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=RDV_SIZE)
+        else:
+            yield from comm.recv(src=0, tag=0)
+
+    trace, metrics = _run_metrics(
+        program, spec=config.mpich2_nmad(rails=("ib", "mx")))
+    per_rail = metrics.bytes_per_rail()
+    assert set(per_rail) == {"ib", "mx"}
+    assert per_rail["ib"] > 0 and per_rail["mx"] > 0
+    # the registry's totals must agree with the raw nic.tx records
+    for rail, total in per_rail.items():
+        assert total == sum(rec.data["size"]
+                            for rec in trace.filter("nic.tx", rail=rail))
+    # the striped shares account for the whole payload
+    (split,) = [rec for rec in trace.filter("strategy.split")
+                if rec.data["size"] == RDV_SIZE]
+    assert sum(chunk for _rail, chunk in split.data["shares"]) == RDV_SIZE
+    busy = metrics.nic_busy_fraction()
+    assert all(0.0 < frac <= 1.0 for frac in busy.values())
+
+
+def test_unexpected_residency_histogram():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, size=EAGER_SIZE)
+        else:
+            yield from comm.compute(50e-6)
+            yield from comm.recv(src=0, tag=0)
+
+    _trace, metrics = _run_metrics(program)
+    r = metrics.registry
+    assert r.counter("nmad.unexpected").value >= 1
+    hist = r.histogram("nmad.unexpected_residency")
+    assert hist.count >= 1
+    assert hist.min > 0.0
+
+
+def test_format_summary_mentions_derived_views():
+    trace, metrics = _run_metrics(pingpong(RDV_SIZE, reps=1, warmup=0))
+    text = metrics.format_summary()
+    assert "nmad.messages_sent" in text
+    assert "rail ib" in text
+    assert "polls per received message" in text

@@ -1,0 +1,78 @@
+"""Perfetto / Chrome trace-event export correctness."""
+
+import json
+
+import pytest
+
+from repro.observability import LAYERS, to_perfetto, write_perfetto
+from repro.workloads.netpipe import pingpong
+
+from tests.observability.helpers import RDV_SIZE, run_traced
+
+
+@pytest.fixture(scope="module")
+def doc():
+    trace = run_traced(pingpong(RDV_SIZE, reps=2, warmup=0))
+    return to_perfetto(trace)
+
+
+def test_valid_json_roundtrip(doc):
+    text = json.dumps(doc)
+    again = json.loads(text)
+    assert again["traceEvents"]
+
+
+def test_process_tracks_cover_all_layers(doc):
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert set(LAYERS) <= names
+    assert len(names) >= 5
+
+
+def test_timestamps_monotonic(doc):
+    ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert ts == sorted(ts)
+    assert all(t >= 0.0 for t in ts)
+
+
+def test_complete_events_have_positive_duration(doc):
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert slices
+    assert all(e["dur"] > 0.0 for e in slices)
+
+
+def test_instant_events_have_scope(doc):
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert instants
+    assert all(e["s"] == "t" for e in instants)
+
+
+def test_counter_track_emitted(doc):
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert any(e["name"] == "strategy window depth" for e in counters)
+    assert all("depth" in e["args"] for e in counters)
+
+
+def test_every_event_names_its_layer(doc):
+    for e in doc["traceEvents"]:
+        if e["ph"] == "M":
+            continue
+        assert e["cat"] in LAYERS
+        assert e["name"].startswith(e["cat"] + ".") or e["ph"] == "C"
+
+
+def test_args_are_json_safe_with_tuple_tags():
+    # pingpong tags are tuples like ("p", 0); repr/list sanitizing applies
+    trace = run_traced(pingpong(1024, reps=1, warmup=0))
+    text = json.dumps(to_perfetto(trace))
+    assert '"tag"' in text
+
+
+def test_write_perfetto(tmp_path):
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0))
+    path = tmp_path / "trace.json"
+    assert write_perfetto(trace, str(path)) == str(path)
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"]
+    assert doc["otherData"]["generator"] == "repro.observability.perfetto"

@@ -1,0 +1,57 @@
+"""Trace infrastructure: fast-path flag, category index, subscribers."""
+
+from repro.simulator import Simulator, Trace
+
+
+def test_tracing_flag_tracks_attachment():
+    sim = Simulator()
+    assert sim.tracing is False
+    sim.record("nic.tx", size=1)        # cheap no-op
+    trace = Trace()
+    sim.trace = trace
+    assert sim.tracing is True
+    sim.record("nic.tx", size=1)
+    assert len(trace) == 1
+    sim.trace = None
+    assert sim.tracing is False
+    sim.record("nic.tx", size=1)
+    assert len(trace) == 1
+
+
+def test_simulator_constructor_sets_flag():
+    assert Simulator(trace=Trace()).tracing is True
+    assert Simulator().tracing is False
+
+
+def test_category_index_filter_and_count():
+    trace = Trace()
+    trace.append(0.0, "nic.tx", {"rail": "ib", "size": 10})
+    trace.append(1.0, "nic.tx", {"rail": "mx", "size": 20})
+    trace.append(2.0, "nmad.send_post", {"src": 0})
+    assert trace.count("nic.tx") == 2
+    assert trace.count("nic.tx", rail="ib") == 1
+    assert trace.count("missing") == 0
+    assert [r.data["size"] for r in trace.filter("nic.tx")] == [10, 20]
+    assert trace.filter("nic.tx", rail="mx")[0].time == 1.0
+    assert trace.categories_seen() == ["nic.tx", "nmad.send_post"]
+    assert len(trace) == 3
+    assert [r.category for r in trace] == ["nic.tx", "nic.tx",
+                                           "nmad.send_post"]
+
+
+def test_category_restriction_still_applies():
+    trace = Trace(categories={"nic.tx"})
+    trace.append(0.0, "nic.tx", {})
+    trace.append(0.0, "nmad.send_post", {})
+    assert len(trace) == 1
+    assert trace.categories_seen() == ["nic.tx"]
+
+
+def test_subscribers_see_records_in_order():
+    trace = Trace(categories={"a"})
+    seen = []
+    trace.subscribe(lambda rec: seen.append(rec.category))
+    trace.append(0.0, "a", {})
+    trace.append(0.0, "b", {})          # filtered out: not delivered
+    trace.append(1.0, "a", {})
+    assert seen == ["a", "a"]
