@@ -9,6 +9,8 @@ Commands
 ``stacks``        list available stack presets
 ``trace``         run a workload fully traced; export Perfetto JSON +
                   metrics summary + per-layer latency breakdown
+``faults``        chaos run: a streaming workload under a named fault
+                  plan, with goodput-degradation and recovery report
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ _STACKS = {
     "mpich2_nmad_pioman": config.mpich2_nmad_pioman,
     "mpich2_nmad_netmod": config.mpich2_nmad_netmod,
     "mpich2_nmad_multirail": lambda: config.mpich2_nmad(rails=("ib", "mx")),
+    "mpich2_nmad_reliable": config.mpich2_nmad_reliable,
     "mvapich2": config.mvapich2,
     "openmpi_ib": config.openmpi_ib,
     "openmpi_pml_mx": config.openmpi_pml_mx,
@@ -164,6 +167,27 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    import json
+
+    from repro.faults import PLAN_NAMES, run_chaos
+
+    spec = _stack(args.stack)
+    if spec.reliability is None:
+        raise SystemExit(f"stack {args.stack!r} has no reliability layer; "
+                         "use mpich2_nmad_reliable (or a spec with "
+                         "reliability set)")
+    report = run_chaos(plan_name=args.plan, messages=args.messages,
+                       size=_parse_size(args.size), seed=args.seed,
+                       spec=spec, drop_prob=args.drop_prob)
+    print(report.format_text())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"metrics JSON written to {args.out}")
+    return 0 if report.exactly_once else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,6 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="trace.json",
                    help="Perfetto JSON output path")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("faults", help="chaos run under a named fault plan")
+    p.add_argument("--plan", default="drop+outage",
+                   help="clean, drop, corrupt, outage, drop+outage, stall")
+    p.add_argument("--stack", default="mpich2_nmad_reliable")
+    p.add_argument("--size", default="512K",
+                   help="message size, K/M suffixes allowed")
+    p.add_argument("--messages", type=int, default=16)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--drop-prob", type=float, default=0.01)
+    p.add_argument("--out", default=None,
+                   help="write the full report as JSON to this path")
+    p.set_defaults(fn=cmd_faults)
     return parser
 
 

@@ -29,6 +29,7 @@ from repro.hardware.params import NICParams, NodeParams
 from repro.mpich2.ch3 import CH3Costs
 from repro.mpich2.nemesis.shm import ShmCosts
 from repro.nmad.core import NmadCosts
+from repro.nmad.reliability import ReliabilityParams
 from repro.pioman import PIOManParams
 
 
@@ -61,6 +62,9 @@ class StackSpec:
     pioman_params: PIOManParams = field(default_factory=PIOManParams)
     native_costs: Optional[NativeCosts] = None
     driver_window: int = 2
+    #: when set, frames are acked/retransmitted and rails fail over
+    #: (see :mod:`repro.nmad.reliability`); nmad stacks only
+    reliability: Optional[ReliabilityParams] = None
 
     @property
     def compute_efficiency(self) -> float:
@@ -96,6 +100,14 @@ def mpich2_nmad_netmod(rails: Tuple[str, ...] = ("ib",), **kw) -> StackSpec:
     """The unmodified network-module path: cell copies + nested handshakes."""
     return StackSpec(name=f"MPICH2:Nem:netmod:{'+'.join(rails)}", kind="nmad",
                      rails=rails, strategy="aggreg", mode="netmod", **kw)
+
+
+def mpich2_nmad_reliable(rails: Tuple[str, ...] = ("ib", "mx"),
+                         pioman: bool = True, **kw) -> StackSpec:
+    """Multirail stack with the reliability layer armed (chaos runs)."""
+    kw.setdefault("reliability", ReliabilityParams())
+    spec = mpich2_nmad(rails=rails, pioman=pioman, **kw)
+    return spec.with_(name=spec.name + ":reliable")
 
 
 def mvapich2(**kw) -> StackSpec:

@@ -1,0 +1,46 @@
+"""Fault injection and chaos tooling for the simulated stack.
+
+* :mod:`~repro.faults.plan` — declarative, seeded fault plans
+  (drop/corrupt probability, outage windows, injection stalls);
+* :mod:`~repro.faults.injector` — applies a plan to live fabrics;
+* :mod:`~repro.faults.determinism` — id-space resets and trace
+  fingerprints for byte-identical-replay regression tests;
+* :mod:`~repro.faults.report` — the ``repro faults`` chaos run:
+  workload under a plan, goodput/recovery report.
+
+The reliability mechanisms that *survive* these faults (ack/retransmit,
+rendezvous timers, multirail failover) live with the protocols they
+protect, in :mod:`repro.nmad.reliability`.
+"""
+
+from repro.faults.determinism import (
+    canonical_records,
+    fresh_id_space,
+    trace_fingerprint,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    PLAN_NAMES,
+    FaultPlan,
+    OutageWindow,
+    RailFaults,
+    StallWindow,
+    named_plan,
+)
+from repro.faults.report import ChaosReport, run_chaos, stream_program
+
+__all__ = [
+    "canonical_records",
+    "fresh_id_space",
+    "trace_fingerprint",
+    "FaultInjector",
+    "PLAN_NAMES",
+    "FaultPlan",
+    "OutageWindow",
+    "RailFaults",
+    "StallWindow",
+    "named_plan",
+    "ChaosReport",
+    "run_chaos",
+    "stream_program",
+]

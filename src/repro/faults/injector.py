@@ -1,0 +1,134 @@
+"""The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector is attached to every :class:`~repro.hardware.nic.Fabric`
+of a cluster (``fabric.injector``).  The hardware consults it at two
+choke points:
+
+* :meth:`on_deliver` — at frame arrival, deciding delivered / dropped /
+  delivered-corrupt (the corrupt flag models a CRC failure: the
+  receiving NIC counts the frame, then silently discards it);
+* :meth:`tx_stall` — at injection, adding NIC serialization time during
+  stall windows.
+
+Random draws come from one :func:`~repro.simulator.rng.rng_stream` per
+rail keyed on ``(seed, "fault", plan.name, rail)``; draw order equals
+delivery order, which the simulator makes deterministic, so a chaos run
+is exactly reproducible from ``(plan, seed)``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultPlan, RailFaults
+from repro.simulator import Simulator
+from repro.simulator.rng import rng_stream
+
+
+class FaultInjector:
+    """Applies one fault plan to a live simulation, deterministically."""
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, seed: int = 0):
+        self.sim = sim
+        self.plan = plan
+        self.seed = seed
+        self._rng: Dict[str, object] = {}
+        # running stats (also available as fault.* trace records / metrics)
+        self.dropped = 0
+        self.corrupted = 0
+        self.outage_dropped = 0
+        self.stalled_frames = 0
+        self.stall_time = 0.0
+
+    # -- wiring ----------------------------------------------------------
+    def attach(self, fabrics) -> "FaultInjector":
+        """Hook this injector into every fabric in ``fabrics``."""
+        for fabric in fabrics:
+            fabric.injector = self
+        return self
+
+    def schedule_markers(self) -> None:
+        """Emit ``fault.outage``/``fault.stall_window`` edge records.
+
+        Scheduled as simulator events so the windows show up as instants
+        on the fault track of a Perfetto export.
+        """
+        if self.sim.trace is None:
+            return
+        mark = partial(partial, self.sim.record)
+        for rf in self.plan.rails:
+            for w in rf.outages:
+                self.sim.at(w.start, mark("fault.outage", rail=rf.rail,
+                                          state="down", until=w.end))
+                self.sim.at(w.end, mark("fault.outage", rail=rf.rail,
+                                        state="up"))
+            for w in rf.stalls:
+                self.sim.at(w.start, mark("fault.stall_window", rail=rf.rail,
+                                          state="on", factor=w.factor,
+                                          until=w.end))
+                self.sim.at(w.end, mark("fault.stall_window", rail=rf.rail,
+                                        state="off"))
+
+    def _stream(self, rail: str):
+        rng = self._rng.get(rail)
+        if rng is None:
+            rng = self._rng[rail] = rng_stream(
+                self.seed, "fault", self.plan.name, rail)
+        return rng
+
+    # -- hardware hooks --------------------------------------------------
+    def on_deliver(self, fabric, frame) -> bool:
+        """Fault verdict at delivery time.  Returns False to drop.
+
+        May set ``frame.corrupt`` and still return True: the frame
+        reaches the destination NIC but fails its CRC there.
+        """
+        rf: Optional[RailFaults] = self.plan.for_rail(fabric.name)
+        if rf is None:
+            return True
+        now = self.sim.now
+        if rf.in_outage(now):
+            self.outage_dropped += 1
+            if self.sim.tracing:
+                self.sim.record("fault.drop", rail=fabric.name, reason="outage",
+                                frame=frame.frame_id, kind=frame.kind,
+                                size=frame.size, src=frame.src, dst=frame.dst)
+            return False
+        if rf.stochastic:
+            u = float(self._stream(fabric.name).random())
+            if u < rf.drop_prob:
+                self.dropped += 1
+                if self.sim.tracing:
+                    self.sim.record("fault.drop", rail=fabric.name,
+                                    reason="random", frame=frame.frame_id,
+                                    kind=frame.kind, size=frame.size,
+                                    src=frame.src, dst=frame.dst)
+                return False
+            if u < rf.drop_prob + rf.corrupt_prob:
+                frame.corrupt = True
+                self.corrupted += 1
+                if self.sim.tracing:
+                    self.sim.record("fault.corrupt", rail=fabric.name,
+                                    frame=frame.frame_id, kind=frame.kind,
+                                    size=frame.size, src=frame.src,
+                                    dst=frame.dst)
+                # delivered anyway; the receiving side discards on CRC fail
+        return True
+
+    def tx_stall(self, nic, frame, injection: float) -> float:
+        """Extra NIC serialization time for ``frame`` (0 outside stalls)."""
+        rf = self.plan.for_rail(nic.params.name)
+        if rf is None or not rf.stalls:
+            return 0.0
+        factor = rf.stall_factor(self.sim.now)
+        if factor <= 1.0:
+            return 0.0
+        extra = injection * (factor - 1.0)
+        self.stalled_frames += 1
+        self.stall_time += extra
+        if self.sim.tracing:
+            self.sim.record("fault.stall", rail=nic.params.name,
+                            node=nic.node_id, frame=frame.frame_id,
+                            size=frame.size, dur=extra, factor=factor)
+        return extra

@@ -1,0 +1,200 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a *pure description* of fabric adversity — it
+holds no simulator state and draws no random numbers itself.  The
+:class:`~repro.faults.injector.FaultInjector` interprets a plan against
+a live simulation, deriving one independent random stream per rail from
+the run's root seed (via :func:`repro.simulator.rng.rng_stream`), so
+
+* the same ``(plan, seed)`` pair always yields the same fault sequence;
+* adding a fault on one rail never perturbs the draws of another.
+
+Three fault families are expressible per rail:
+
+* **probabilistic frame loss/corruption** — each delivered frame is
+  dropped with ``drop_prob`` or delivered corrupt (CRC-fail, discarded
+  by the receiving NIC) with ``corrupt_prob``;
+* **outage windows** — the link is down in ``[start, end)``: every
+  frame arriving in the window is lost (both directions);
+* **injection stalls** — in ``[start, end)`` the NIC serializes frames
+  ``factor``× slower (a misbehaving DMA engine / PCIe contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """Link down from ``start`` (inclusive) to ``end`` (exclusive), seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if not (0.0 <= self.start < self.end):
+            raise ValueError(f"bad outage window [{self.start}, {self.end})")
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """NIC injection slowed by ``factor`` in ``[start, end)``."""
+
+    start: float
+    end: float
+    factor: float = 4.0
+
+    def __post_init__(self):
+        if not (0.0 <= self.start < self.end):
+            raise ValueError(f"bad stall window [{self.start}, {self.end})")
+        if self.factor < 1.0:
+            raise ValueError(f"stall factor must be >= 1, got {self.factor}")
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class RailFaults:
+    """Everything that can go wrong on one named rail."""
+
+    rail: str
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    outages: Tuple[OutageWindow, ...] = ()
+    stalls: Tuple[StallWindow, ...] = ()
+
+    def __post_init__(self):
+        if not (0.0 <= self.drop_prob < 1.0):
+            raise ValueError(f"drop_prob must be in [0, 1), got {self.drop_prob}")
+        if not (0.0 <= self.corrupt_prob < 1.0):
+            raise ValueError(
+                f"corrupt_prob must be in [0, 1), got {self.corrupt_prob}")
+        if self.drop_prob + self.corrupt_prob >= 1.0:
+            raise ValueError("drop_prob + corrupt_prob must stay below 1")
+
+    @property
+    def stochastic(self) -> bool:
+        """True when this rail needs a random stream at all."""
+        return self.drop_prob > 0.0 or self.corrupt_prob > 0.0
+
+    def in_outage(self, t: float) -> bool:
+        return any(w.covers(t) for w in self.outages)
+
+    def stall_factor(self, t: float) -> float:
+        for w in self.stalls:
+            if w.covers(t):
+                return w.factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, serializable set of per-rail fault specifications."""
+
+    name: str
+    rails: Tuple[RailFaults, ...] = ()
+
+    def __post_init__(self):
+        seen = set()
+        for rf in self.rails:
+            if rf.rail in seen:
+                raise ValueError(f"duplicate rail {rf.rail!r} in plan")
+            seen.add(rf.rail)
+
+    def for_rail(self, rail: str) -> Optional[RailFaults]:
+        for rf in self.rails:
+            if rf.rail == rail:
+                return rf
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not self.rails
+
+    # -- (de)serialization — the schema documented in docs/FAULTS.md ----
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "rails": [
+                {
+                    "rail": rf.rail,
+                    "drop_prob": rf.drop_prob,
+                    "corrupt_prob": rf.corrupt_prob,
+                    "outages": [[w.start, w.end] for w in rf.outages],
+                    "stalls": [[w.start, w.end, w.factor] for w in rf.stalls],
+                }
+                for rf in self.rails
+            ],
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict) -> "FaultPlan":
+        rails = tuple(
+            RailFaults(
+                rail=rd["rail"],
+                drop_prob=rd.get("drop_prob", 0.0),
+                corrupt_prob=rd.get("corrupt_prob", 0.0),
+                outages=tuple(OutageWindow(a, b)
+                              for a, b in rd.get("outages", ())),
+                stalls=tuple(StallWindow(a, b, f)
+                             for a, b, f in rd.get("stalls", ())),
+            )
+            for rd in doc.get("rails", ())
+        )
+        return FaultPlan(name=doc["name"], rails=rails)
+
+
+# ---------------------------------------------------------------------------
+# named plans (the chaos presets of `repro faults` and the CI smoke job)
+# ---------------------------------------------------------------------------
+
+#: names accepted by :func:`named_plan`
+PLAN_NAMES = ("clean", "drop", "corrupt", "outage", "drop+outage", "stall")
+
+
+def named_plan(name: str, rails: Tuple[str, ...] = ("ib", "mx"),
+               t_hint: float = 1e-3, drop_prob: float = 0.01,
+               outage_span: Tuple[float, float] = (0.3, 0.6),
+               stall_factor: float = 4.0) -> FaultPlan:
+    """Build one of the preset chaos plans.
+
+    ``t_hint`` is the expected fault-free run duration (seconds); outage
+    and stall windows are placed at ``outage_span`` fractions of it, so
+    the disturbance lands mid-transfer regardless of workload size.
+    The *last* rail in ``rails`` is the one taken down — the fastest
+    rail (listed first) survives and carries the failover traffic.
+    """
+    if name not in PLAN_NAMES:
+        raise ValueError(
+            f"unknown fault plan {name!r}; available: {', '.join(PLAN_NAMES)}")
+    if not rails:
+        raise ValueError("a fault plan needs at least one rail")
+    window = OutageWindow(outage_span[0] * t_hint, outage_span[1] * t_hint)
+    victim = rails[-1]
+    if name == "clean":
+        return FaultPlan(name="clean", rails=())
+    if name == "drop":
+        return FaultPlan(name="drop", rails=tuple(
+            RailFaults(rail=r, drop_prob=drop_prob) for r in rails))
+    if name == "corrupt":
+        return FaultPlan(name="corrupt", rails=tuple(
+            RailFaults(rail=r, corrupt_prob=drop_prob) for r in rails))
+    if name == "outage":
+        return FaultPlan(name="outage", rails=(
+            RailFaults(rail=victim, outages=(window,)),))
+    if name == "drop+outage":
+        specs = [RailFaults(rail=r, drop_prob=drop_prob,
+                            outages=(window,) if r == victim else ())
+                 for r in rails]
+        return FaultPlan(name="drop+outage", rails=tuple(specs))
+    # "stall": slow the *first* rail so traffic shifts toward the others
+    return FaultPlan(name="stall", rails=(
+        RailFaults(rail=rails[0],
+                   stalls=(StallWindow(window.start, window.end,
+                                       stall_factor),)),))

@@ -1,0 +1,218 @@
+"""Chaos runs: a workload under a fault plan, with a degradation report.
+
+:func:`run_chaos` runs the same two-rank streaming workload twice on a
+reliability-armed multirail stack — once fault-free to calibrate, once
+under a named :class:`~repro.faults.plan.FaultPlan` scaled to the
+calibrated duration — and compares: goodput degradation, retransmission
+and failover activity, recovery time, and the exactly-once delivery
+check.  This is what the ``repro faults`` CLI subcommand and the CI
+chaos smoke job execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import config
+from repro.faults.determinism import fresh_id_space, trace_fingerprint
+from repro.faults.plan import FaultPlan, named_plan
+from repro.observability.metrics import TraceMetrics, attach_metrics
+from repro.runtime.builder import run_mpi
+from repro.simulator import Trace
+
+
+def stream_program(messages: int, size: int, window: int = 4):
+    """Rank 0 streams ``messages`` payloads of ``size`` bytes to rank 1.
+
+    The sender keeps ``window`` sends in flight (so multirail striping
+    and failover have work to re-route); the receiver returns the list
+    of received payloads, in order — the exactly-once evidence.
+    """
+
+    def program(comm):
+        if comm.rank == 0:
+            pending = []
+            for i in range(messages):
+                req = yield from comm.isend(1, tag=7, size=size,
+                                            data=("msg", i))
+                pending.append(req)
+                if len(pending) >= window:
+                    yield from comm.wait(pending.pop(0))
+            yield from comm.waitall(pending)
+            return comm.wtime()
+        received = []
+        for _ in range(messages):
+            msg = yield from comm.recv(src=0, tag=7)
+            received.append(msg.data)
+        return {"received": received, "t_end": comm.wtime()}
+
+    return program
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run measured."""
+
+    plan: FaultPlan
+    seed: int
+    messages: int
+    size: int
+    clean_elapsed: float
+    faulted_elapsed: float
+    exactly_once: bool
+    delivered: int
+    expected: int
+    duplicates_suppressed: int
+    retransmits: int
+    timeouts: int
+    rail_downs: int
+    rail_ups: int
+    failovers: int
+    degraded_bandwidth_fraction: float
+    recovery_times: List[float]
+    fingerprint: str
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degradation(self) -> float:
+        """Relative slowdown of the faulted run (0 = unaffected)."""
+        if self.clean_elapsed <= 0:
+            return 0.0
+        return self.faulted_elapsed / self.clean_elapsed - 1.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Faulted goodput as a fraction of the fault-free goodput."""
+        if self.faulted_elapsed <= 0:
+            return 1.0
+        return self.clean_elapsed / self.faulted_elapsed
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "seed": self.seed,
+            "messages": self.messages,
+            "size": self.size,
+            "clean_elapsed": self.clean_elapsed,
+            "faulted_elapsed": self.faulted_elapsed,
+            "degradation": self.degradation,
+            "goodput_fraction": self.goodput_fraction,
+            "exactly_once": self.exactly_once,
+            "delivered": self.delivered,
+            "expected": self.expected,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+            "rail_downs": self.rail_downs,
+            "rail_ups": self.rail_ups,
+            "failovers": self.failovers,
+            "degraded_bandwidth_fraction": self.degraded_bandwidth_fraction,
+            "recovery_times": self.recovery_times,
+            "fingerprint": self.fingerprint,
+            "metrics": self.metrics,
+        }
+
+    def format_text(self) -> str:
+        p = self.plan
+        lines = [
+            f"chaos run: plan={p.name!r} seed={self.seed} "
+            f"({self.messages} x {self.size} B)",
+            f"  fault-free elapsed : {self.clean_elapsed * 1e3:.3f} ms",
+            f"  faulted elapsed    : {self.faulted_elapsed * 1e3:.3f} ms "
+            f"({self.degradation * +100:.1f}% slower, goodput "
+            f"{self.goodput_fraction * 100:.1f}%)",
+            f"  exactly-once       : "
+            f"{'OK' if self.exactly_once else 'VIOLATED'} "
+            f"({self.delivered}/{self.expected} delivered, "
+            f"{self.duplicates_suppressed} duplicates suppressed)",
+            f"  retransmits        : {self.retransmits} "
+            f"(after {self.timeouts} ack timeouts)",
+            f"  rail failures      : {self.rail_downs} down / "
+            f"{self.rail_ups} recovered, {self.failovers} wrappers "
+            f"failed over",
+        ]
+        for rt in self.recovery_times:
+            lines.append(f"  recovery time      : {rt * 1e6:.1f} us")
+        lines.append(f"  degraded bandwidth : "
+                     f"{self.degraded_bandwidth_fraction * 100:.1f}% "
+                     f"of the traced span")
+        lines.append(f"  trace fingerprint  : {self.fingerprint[:16]}…")
+        return "\n".join(lines)
+
+
+def _counter_total(metrics: TraceMetrics, name: str) -> float:
+    """Sum of ``name`` across every label (plus the unlabeled one)."""
+    reg = metrics.registry
+    total = sum(reg.counter(name, lbl).value for lbl in reg.labels_of(name))
+    plain = reg._metrics.get(name)
+    if plain is not None:
+        total += plain.value
+    return total
+
+
+def run_chaos(plan_name: str = "drop+outage",
+              messages: int = 16, size: int = 512 * 1024,
+              seed: int = 1234, window: int = 4,
+              spec=None, plan: Optional[FaultPlan] = None,
+              drop_prob: float = 0.01) -> ChaosReport:
+    """Run the stream workload clean, then under a fault plan; compare.
+
+    The fault plan's windows are positioned relative to the *measured*
+    fault-free duration, so the outage always lands mid-transfer.
+    """
+    if spec is None:
+        spec = config.mpich2_nmad_reliable(rails=("ib", "mx"))
+    program = stream_program(messages, size, window=window)
+
+    # -- calibration pass: same stack, no faults -----------------------
+    fresh_id_space()
+    clean_trace = Trace()
+    clean_metrics = attach_metrics(clean_trace)
+    clean = run_mpi(program, 2, spec, cluster=config.xeon_pair(),
+                    trace=clean_trace, seed=seed)
+    clean_elapsed = max(r["t_end"] if isinstance(r, dict) else r
+                       for r in clean.rank_results)
+
+    if plan is None:
+        plan = named_plan(plan_name, rails=spec.rails,
+                          t_hint=clean_elapsed, drop_prob=drop_prob)
+
+    # -- chaos pass ----------------------------------------------------
+    fresh_id_space()
+    trace = Trace()
+    metrics = attach_metrics(trace)
+    faulted = run_mpi(program, 2, spec, cluster=config.xeon_pair(),
+                      trace=trace, seed=seed, faults=plan)
+    recv_result = next(r for r in faulted.rank_results if isinstance(r, dict))
+    received = recv_result["received"]
+    faulted_elapsed = recv_result["t_end"]
+
+    expected = [("msg", i) for i in range(messages)]
+    reg = metrics.registry
+    rail_ups = reg._metrics.get("reliab.recovery_time")
+    recovery = []
+    if rail_ups is not None and rail_ups.count:
+        recovery = [rail_ups.mean] * rail_ups.count
+
+    return ChaosReport(
+        plan=plan, seed=seed, messages=messages, size=size,
+        clean_elapsed=clean_elapsed, faulted_elapsed=faulted_elapsed,
+        exactly_once=received == expected,
+        delivered=len(received), expected=messages,
+        duplicates_suppressed=int(_counter_total(metrics, "reliab.duplicates")),
+        retransmits=int(_counter_total(metrics, "reliab.retransmits")),
+        timeouts=int(_counter_total(metrics, "reliab.timeouts")),
+        rail_downs=int(_counter_total(metrics, "reliab.rail_downs")),
+        rail_ups=len(recovery),
+        failovers=int(_counter_total(metrics, "reliab.failovers")),
+        degraded_bandwidth_fraction=metrics.degraded_bandwidth_fraction(),
+        recovery_times=recovery,
+        fingerprint=trace_fingerprint(trace),
+        metrics={
+            "clean": {"snapshot": clean_metrics.registry.snapshot(),
+                      "derived": clean_metrics.derived()},
+            "faulted": {"snapshot": metrics.registry.snapshot(),
+                        "derived": metrics.derived()},
+        },
+    )

@@ -21,6 +21,13 @@ def next_rdv_id() -> int:
     return next(_rdv_ids)
 
 
+def reset_ids() -> None:
+    """Rewind the pw/rdv id counters (determinism tooling only)."""
+    global _pw_ids, _rdv_ids
+    _pw_ids = itertools.count()
+    _rdv_ids = itertools.count()
+
+
 @dataclass
 class EagerEntry:
     """Message data travelling inline with its envelope."""

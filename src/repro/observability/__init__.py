@@ -28,7 +28,13 @@ from repro.observability.metrics import (
     attach_metrics,
 )
 from repro.observability.perfetto import to_perfetto, write_perfetto
-from repro.observability.taxonomy import CATEGORIES, LAYERS, layer_of
+from repro.observability.taxonomy import (
+    ALL_LAYERS,
+    CATEGORIES,
+    FAULT_LAYERS,
+    LAYERS,
+    layer_of,
+)
 
 __all__ = [
     "BreakdownSummary",
@@ -44,7 +50,9 @@ __all__ = [
     "attach_metrics",
     "to_perfetto",
     "write_perfetto",
+    "ALL_LAYERS",
     "CATEGORIES",
+    "FAULT_LAYERS",
     "LAYERS",
     "layer_of",
 ]

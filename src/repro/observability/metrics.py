@@ -176,6 +176,9 @@ class TraceMetrics:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.t_first: Optional[float] = None
         self.t_last: float = 0.0
+        # open rail outages: rail -> (down_since, bandwidth share)
+        self._rails_down: Dict[str, Tuple[float, float]] = {}
+        self._degraded_area = 0.0  # sum of share x downtime, closed downs
 
     # -- wiring ----------------------------------------------------------
     def attach(self, trace: Trace) -> "TraceMetrics":
@@ -257,6 +260,53 @@ class TraceMetrics:
     def _on_shm_send(self, rec: TraceRecord) -> None:
         self.registry.counter("mpich2.shm_messages").inc()
 
+    # -- fault / reliability ---------------------------------------------
+    def _on_fault_drop(self, rec: TraceRecord) -> None:
+        r = self.registry
+        rail = rec.data.get("rail", "?")
+        r.counter("fault.drops", rail).inc()
+        r.counter("fault.dropped_bytes", rail).inc(rec.data.get("size", 0))
+
+    def _on_fault_corrupt(self, rec: TraceRecord) -> None:
+        self.registry.counter("fault.corrupts", rec.data.get("rail", "?")).inc()
+
+    def _on_fault_stall(self, rec: TraceRecord) -> None:
+        self.registry.counter("fault.stall_time",
+                              rec.data.get("rail", "?")).inc(
+            rec.data.get("dur", 0.0))
+
+    def _on_reliab_timeout(self, rec: TraceRecord) -> None:
+        self.registry.counter("reliab.timeouts", rec.data.get("rail", "?")).inc()
+
+    def _on_reliab_retransmit(self, rec: TraceRecord) -> None:
+        r = self.registry
+        rail = rec.data.get("rail", "?")
+        r.counter("reliab.retransmits", rail).inc()
+        r.counter("reliab.retransmitted_bytes", rail).inc(
+            rec.data.get("size", 0))
+
+    def _on_reliab_duplicate(self, rec: TraceRecord) -> None:
+        self.registry.counter("reliab.duplicates").inc()
+
+    def _on_reliab_rdv_timeout(self, rec: TraceRecord) -> None:
+        self.registry.counter("reliab.rdv_timeouts").inc()
+
+    def _on_rail_down(self, rec: TraceRecord) -> None:
+        self.registry.counter("reliab.rail_downs").inc()
+        self._rails_down[rec.data.get("rail", "?")] = (
+            rec.time, rec.data.get("share", 0.0))
+
+    def _on_rail_up(self, rec: TraceRecord) -> None:
+        rail = rec.data.get("rail", "?")
+        down = self._rails_down.pop(rail, None)
+        if down is not None:
+            self._degraded_area += down[1] * (rec.time - down[0])
+        self.registry.histogram("reliab.recovery_time").observe(
+            rec.data.get("downtime", 0.0))
+
+    def _on_failover(self, rec: TraceRecord) -> None:
+        self.registry.counter("reliab.failovers").inc()
+
     _HANDLERS = {
         "nic.tx": _on_nic_tx,
         "nmad.send_post": _on_send_post,
@@ -275,6 +325,16 @@ class TraceMetrics:
         "mpich2.anysource_scan": _on_as_scan,
         "mpich2.cell_copy": _on_cell_copy,
         "mpich2.shm_send": _on_shm_send,
+        "fault.drop": _on_fault_drop,
+        "fault.corrupt": _on_fault_corrupt,
+        "fault.stall": _on_fault_stall,
+        "reliab.timeout": _on_reliab_timeout,
+        "reliab.retransmit": _on_reliab_retransmit,
+        "reliab.duplicate": _on_reliab_duplicate,
+        "reliab.rdv_timeout": _on_reliab_rdv_timeout,
+        "reliab.rail_down": _on_rail_down,
+        "reliab.rail_up": _on_rail_up,
+        "reliab.failover": _on_failover,
     }
 
     # -- derived views ----------------------------------------------------
@@ -298,11 +358,27 @@ class TraceMetrics:
         polls = self.registry.counter("pioman.polls").value
         return polls / msgs if msgs else 0.0
 
+    def degraded_bandwidth_fraction(self) -> float:
+        """Share of aggregate bandwidth x time lost to dead rails.
+
+        Sum over outages of (rail's sampled bandwidth share x downtime),
+        normalized by the traced span.  Rails still down at the end of
+        the trace are charged until ``t_last``.
+        """
+        span = (self.t_last - self.t_first) if self.t_first is not None else 0.0
+        if span <= 0:
+            return 0.0
+        area = self._degraded_area
+        for since, share in self._rails_down.values():
+            area += share * (self.t_last - since)
+        return area / span
+
     def derived(self) -> Dict[str, object]:
         return {
             "bytes_per_rail": self.bytes_per_rail(),
             "nic_busy_fraction": self.nic_busy_fraction(),
             "polls_per_message": self.polls_per_message(),
+            "degraded_bandwidth_fraction": self.degraded_bandwidth_fraction(),
         }
 
     def format_summary(self) -> str:
@@ -315,6 +391,9 @@ class TraceMetrics:
                          f"NIC busy {busy * 100:.1f}% of the traced span")
         lines.append(f"  polls per received message: "
                      f"{derived['polls_per_message']:.2f}")
+        if derived["degraded_bandwidth_fraction"] > 0:
+            lines.append(f"  degraded bandwidth fraction: "
+                         f"{derived['degraded_bandwidth_fraction'] * 100:.1f}%")
         return "\n".join(lines)
 
 

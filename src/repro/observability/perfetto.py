@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.observability.taxonomy import LAYERS, layer_of
+from repro.observability.taxonomy import ALL_LAYERS, layer_of
 from repro.simulator.tracing import Trace
 
 #: categories whose record's local entity is named by this data key
@@ -78,9 +78,9 @@ def to_perfetto(trace: Trace) -> Dict[str, Any]:
         pid = pids.get(layer)
         if pid is None:
             # keep documented layers in stack order; unknown ones after
-            pid = (LAYERS.index(layer) + 1 if layer in LAYERS
-                   else len(LAYERS) + 1 + len([p for p in pids
-                                               if p not in LAYERS]))
+            pid = (ALL_LAYERS.index(layer) + 1 if layer in ALL_LAYERS
+                   else len(ALL_LAYERS) + 1 + len([p for p in pids
+                                                   if p not in ALL_LAYERS]))
             pids[layer] = pid
             events.append({"name": "process_name", "ph": "M", "pid": pid,
                            "tid": 0, "args": {"name": layer}})

@@ -15,8 +15,16 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-#: layer track order (bottom-up through the stack)
+#: layer track order (bottom-up through the stack).  These five always
+#: appear in a plain traced run; fault/reliability layers are separate
+#: (they only emit under a fault plan / reliability-armed spec).
 LAYERS: Tuple[str, ...] = ("nic", "nmad", "strategy", "pioman", "mpich2")
+
+#: adversity layers: the fault injector and the reliability machinery
+FAULT_LAYERS: Tuple[str, ...] = ("fault", "reliab")
+
+#: every documented layer, in track order
+ALL_LAYERS: Tuple[str, ...] = LAYERS + FAULT_LAYERS
 
 #: category -> one-line description.  Common data keys: ``src``/``dst``
 #: (ranks), ``tag``, ``seq``, ``size`` (payload bytes), ``rdv``
@@ -70,6 +78,30 @@ CATEGORIES: Dict[str, str] = {
                              "(hit = a matching message was buffered)",
     "mpich2.shm_send": "message copied into the shared-memory queue cells",
     "mpich2.shm_recv": "message copied out of the shared-memory queue cells",
+    # -- fault injection (repro.faults) --------------------------------
+    "fault.drop": "frame lost on the wire (reason = random|outage)",
+    "fault.corrupt": "frame delivered corrupt; discarded at the NIC CRC",
+    "fault.stall": "one injection slowed by a stall window (dur = extra)",
+    "fault.outage": "rail outage window edge (state = down|up)",
+    "fault.stall_window": "injection-stall window edge (state = on|off)",
+    # -- reliability (ack/retransmit/failover) -------------------------
+    "reliab.ack": "packet wrapper acknowledged by the receiving node "
+                  "(rtt = post-to-ack time)",
+    "reliab.timeout": "ack deadline passed for a posted wrapper "
+                      "(consec = consecutive timeouts on the rail)",
+    "reliab.retransmit": "unacked wrapper re-injected (retry = attempt)",
+    "reliab.duplicate": "received wrapper already seen; dropped by dedup",
+    "reliab.reorder": "header arrived ahead of a lost predecessor; parked "
+                      "until the retransmission fills the seq gap",
+    "reliab.rdv_timeout": "rendezvous handshake timer fired "
+                          "(kind = rts|cts, gave_up on retry exhaustion)",
+    "reliab.rdv_duplicate": "retried RTS/CTS recognized and absorbed",
+    "reliab.rail_down": "rail declared dead (pending = orphaned wrappers, "
+                        "share = its sampled bandwidth fraction)",
+    "reliab.rail_up": "dead rail answered a probe and was restored "
+                      "(downtime = dead span in seconds)",
+    "reliab.failover": "orphaned wrapper re-routed onto a surviving rail",
+    "reliab.probe": "out-of-band liveness probe of a dead rail",
 }
 
 

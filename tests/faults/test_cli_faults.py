@@ -1,0 +1,40 @@
+"""The ``repro faults`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_faults_subcommand_writes_valid_json(tmp_path, capsys):
+    out = tmp_path / "chaos.json"
+    rc = main(["faults", "--plan", "drop", "--messages", "4",
+               "--size", "64K", "--seed", "5", "--drop-prob", "0.05",
+               "--out", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "exactly-once       : OK" in text
+    payload = json.loads(out.read_text())
+    assert payload["exactly_once"] is True
+    assert payload["plan"]["name"] == "drop"
+    assert payload["delivered"] == payload["expected"] == 4
+    assert payload["fingerprint"]
+    assert "faulted" in payload["metrics"]
+
+
+def test_faults_clean_plan_reports_no_faults(capsys):
+    rc = main(["faults", "--plan", "clean", "--messages", "2",
+               "--size", "4K"])
+    assert rc == 0
+    assert "0 duplicates suppressed" in capsys.readouterr().out
+
+
+def test_faults_rejects_unreliable_stack():
+    with pytest.raises(SystemExit):
+        main(["faults", "--stack", "mpich2_nmad"])
+
+
+def test_faults_rejects_unknown_stack():
+    with pytest.raises(SystemExit):
+        main(["faults", "--stack", "nope"])

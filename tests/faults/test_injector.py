@@ -1,0 +1,95 @@
+"""FaultInjector behaviour against raw NIC/Fabric hardware."""
+
+from repro.faults import FaultInjector, FaultPlan, OutageWindow, RailFaults, StallWindow
+from repro.hardware import presets as hw
+from repro.hardware.nic import Fabric, Frame
+from repro.simulator import Simulator
+
+
+def _rig(plan, seed=7):
+    sim = Simulator()
+    fabric = Fabric(sim, hw.IB_CONNECTX)
+    a, b = fabric.attach(0), fabric.attach(1)
+    injector = FaultInjector(sim, plan, seed=seed).attach([fabric])
+    return sim, fabric, a, b, injector
+
+
+def _blast(sim, src_nic, n=200, size=4096):
+    for _ in range(n):
+        src_nic.post_send(Frame(src=0, dst=1, size=size))
+    sim.run()
+
+
+def test_clean_plan_delivers_everything():
+    sim, _fabric, a, b, inj = _rig(FaultPlan(name="clean"))
+    _blast(sim, a, n=50)
+    assert b.rx_frames == 50
+    assert inj.dropped == inj.corrupted == inj.outage_dropped == 0
+
+
+def test_random_drop_is_seed_deterministic():
+    plan = FaultPlan(name="drop", rails=(
+        RailFaults(rail="ib", drop_prob=0.3),))
+    results = []
+    for _ in range(2):
+        sim, _fabric, a, b, inj = _rig(plan, seed=11)
+        _blast(sim, a)
+        results.append((b.rx_frames, inj.dropped))
+    assert results[0] == results[1]
+    assert 0 < results[0][1] < 200  # some but not all dropped
+
+    sim, _fabric, a, b, inj = _rig(plan, seed=12)
+    _blast(sim, a)
+    assert (b.rx_frames, inj.dropped) != results[0]
+
+
+def test_outage_window_drops_without_rng():
+    # every frame arrives inside the window -> all dropped, zero draws
+    plan = FaultPlan(name="outage", rails=(
+        RailFaults(rail="ib", outages=(OutageWindow(0.0, 1.0),)),))
+    sim, _fabric, a, b, inj = _rig(plan)
+    _blast(sim, a, n=20)
+    assert b.rx_frames == 0
+    assert inj.outage_dropped == 20
+    assert inj.dropped == 0
+
+
+def test_outage_window_ends():
+    plan = FaultPlan(name="outage", rails=(
+        RailFaults(rail="ib", outages=(OutageWindow(0.0, 1e-9),)),))
+    sim, _fabric, a, b, _inj = _rig(plan)
+    _blast(sim, a, n=5)  # wire latency alone puts arrivals past the window
+    assert b.rx_frames == 5
+
+
+def test_corrupt_frames_are_delivered_marked():
+    plan = FaultPlan(name="corrupt", rails=(
+        RailFaults(rail="ib", corrupt_prob=0.5),))
+    sim, fabric, a, b, inj = _rig(plan)
+    corrupt_seen = []
+    b.rx_notify = lambda fr: corrupt_seen.append(fr.corrupt)
+    _blast(sim, a, n=100)
+    assert b.rx_frames == 100  # corruption does not drop at the fabric
+    assert inj.corrupted > 0
+    assert sum(corrupt_seen) == inj.corrupted
+
+
+def test_stall_window_slows_injection():
+    fast = FaultPlan(name="clean")
+    slow = FaultPlan(name="stall", rails=(
+        RailFaults(rail="ib", stalls=(StallWindow(0.0, 1.0, factor=5.0),)),))
+    times = []
+    for plan in (fast, slow):
+        sim, _fabric, a, b, inj = _rig(plan)
+        _blast(sim, a, n=10, size=1 << 20)
+        times.append(sim.now)
+    assert times[1] > times[0] * 3  # 5x injection dominates the run
+
+
+def test_unlisted_rail_untouched():
+    plan = FaultPlan(name="drop", rails=(
+        RailFaults(rail="mx", drop_prob=0.9),))
+    sim, _fabric, a, b, inj = _rig(plan)
+    _blast(sim, a, n=30)
+    assert b.rx_frames == 30
+    assert inj.dropped == 0

@@ -1,0 +1,82 @@
+"""Fault-plan construction, validation, and serialization."""
+
+import pytest
+
+from repro.faults import (
+    PLAN_NAMES,
+    FaultPlan,
+    OutageWindow,
+    RailFaults,
+    StallWindow,
+    named_plan,
+)
+
+
+def test_window_covers_half_open():
+    w = OutageWindow(1.0, 2.0)
+    assert not w.covers(0.5)
+    assert w.covers(1.0)
+    assert w.covers(1.999)
+    assert not w.covers(2.0)
+
+
+def test_bad_windows_rejected():
+    with pytest.raises(ValueError):
+        OutageWindow(2.0, 1.0)
+    with pytest.raises(ValueError):
+        OutageWindow(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        StallWindow(0.0, 1.0, factor=0.5)
+
+
+def test_rail_faults_probability_validation():
+    with pytest.raises(ValueError):
+        RailFaults(rail="ib", drop_prob=1.0)
+    with pytest.raises(ValueError):
+        RailFaults(rail="ib", drop_prob=-0.1)
+    with pytest.raises(ValueError):
+        RailFaults(rail="ib", drop_prob=0.6, corrupt_prob=0.6)
+    rf = RailFaults(rail="ib", drop_prob=0.1, corrupt_prob=0.1)
+    assert rf.stochastic
+    assert not RailFaults(rail="ib").stochastic
+
+
+def test_plan_rejects_duplicate_rails():
+    with pytest.raises(ValueError):
+        FaultPlan(name="x", rails=(RailFaults(rail="ib"),
+                                   RailFaults(rail="ib")))
+
+
+def test_stall_factor_lookup():
+    rf = RailFaults(rail="mx", stalls=(StallWindow(1.0, 2.0, 3.0),))
+    assert rf.stall_factor(0.5) == 1.0
+    assert rf.stall_factor(1.5) == 3.0
+    assert rf.in_outage(1.5) is False
+
+
+def test_roundtrip_serialization():
+    plan = named_plan("drop+outage", rails=("ib", "mx"), t_hint=1e-3)
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again == plan
+
+
+def test_named_plans_shape():
+    for name in PLAN_NAMES:
+        plan = named_plan(name, rails=("ib", "mx"), t_hint=1e-3)
+        assert plan.name == name
+        if name == "clean":
+            assert plan.empty
+    outage = named_plan("outage", rails=("ib", "mx"), t_hint=1e-3)
+    # the last (slower) rail is the victim
+    assert outage.for_rail("mx") is not None
+    assert outage.for_rail("ib") is None
+    assert outage.for_rail("mx").outages[0].start == pytest.approx(0.3e-3)
+    stall = named_plan("stall", rails=("ib", "mx"))
+    assert stall.for_rail("ib").stalls[0].factor == 4.0
+
+
+def test_unknown_plan_name_rejected():
+    with pytest.raises(ValueError):
+        named_plan("nope")
+    with pytest.raises(ValueError):
+        named_plan("drop", rails=())

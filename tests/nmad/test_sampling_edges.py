@@ -1,0 +1,146 @@
+"""Sampling edge cases: heterogeneous rails, tiny splits, window=1 rails."""
+
+import pytest
+
+from repro.hardware import build_cluster, presets
+from repro.nmad import NmadCore, NmadCosts, SendRecvInterface
+from repro.nmad.drivers import make_ib_driver, make_mx_driver
+from repro.nmad.strategies import NetworkSampler, make_strategy
+from repro.simulator import Simulator
+
+from tests.nmad.conftest import NmadWorld
+from tests.nmad.test_core_eager import run_transfer
+
+
+def _hetero_drivers():
+    sim = Simulator()
+    cluster = build_cluster(sim, 2, presets.XEON_NODE,
+                            [presets.IB_CONNECTX, presets.MX_MYRI10G])
+    node = cluster.node(0)
+    return [make_ib_driver(node.nics["ib"]), make_mx_driver(node.nics["mx"])]
+
+
+def test_sampled_bandwidths_differ_across_rails():
+    ib, mx = _hetero_drivers()
+    sampler = NetworkSampler()
+    assert sampler.sampled_bandwidth(ib) > sampler.sampled_bandwidth(mx)
+
+
+def test_ordered_puts_lowest_latency_first():
+    ib, mx = _hetero_drivers()
+    sampler = NetworkSampler()
+    assert [d.name for d in sampler.ordered([mx, ib])] == ["ib", "mx"]
+    assert sampler.fastest([mx, ib]) is ib
+
+
+def test_split_tiny_sizes_stay_exact():
+    drivers = _hetero_drivers()
+    sampler = NetworkSampler()
+    for size in (1, 2, 3, 7):
+        shares = sampler.split(drivers, size)
+        assert sum(c for _, c in shares) == size
+        assert all(c > 0 for _, c in shares)  # zero chunks are filtered
+
+
+def test_split_single_driver_takes_all():
+    ib, _ = _hetero_drivers()
+    shares = NetworkSampler().split([ib], 12345)
+    assert shares == [(ib, 12345)]
+
+
+def test_split_input_validation():
+    drivers = _hetero_drivers()
+    sampler = NetworkSampler()
+    with pytest.raises(ValueError):
+        sampler.split([], 100)
+    with pytest.raises(ValueError):
+        sampler.split(drivers, 0)
+    with pytest.raises(ValueError):
+        NetworkSampler(ref_size=0)
+
+
+def _window1_world():
+    """Two-rail split_balance world where each rail admits one pw."""
+    w = NmadWorld.__new__(NmadWorld)
+    w.sim = Simulator()
+    w.cluster = build_cluster(
+        w.sim, 2, presets.XEON_NODE,
+        [presets.IB_CONNECTX, presets.MX_MYRI10G])
+    w.cores, w.ifaces = [], []
+    for rank in (0, 1):
+        node = w.cluster.node(rank)
+        core = NmadCore(w.sim, rank, rank, mem=node.mem,
+                        registrar=node.make_registrar(cache=False),
+                        costs=NmadCosts())
+        core.add_driver(make_ib_driver(node.nics["ib"], window=1))
+        core.add_driver(make_mx_driver(node.nics["mx"], window=1))
+        core.set_strategy(make_strategy("split_balance", core))
+        w.cores.append(core)
+        w.ifaces.append(SendRecvInterface(w.sim, core))
+    return w
+
+
+def test_window_one_rejected_below_one():
+    node = build_cluster(Simulator(), 2, presets.XEON_NODE,
+                         [presets.IB_CONNECTX]).node(0)
+    with pytest.raises(ValueError):
+        make_ib_driver(node.nics["ib"], window=0)
+
+
+def test_window_one_split_still_completes():
+    w = _window1_world()
+    payload = b"z" * (1 << 20)
+    sreq, rreq, _ = run_transfer(w, len(payload), data=payload)
+    assert sreq.complete and rreq.complete
+    assert rreq.data is payload
+
+
+def test_window_one_backpressure_queues_and_drains():
+    """Many back-to-back large sends must all land despite 1-deep windows."""
+    w = _window1_world()
+    sim = w.sim
+    tx, rx = w.ifaces
+    n, size = 6, 1 << 19
+    got = []
+
+    def sender():
+        reqs = []
+        for i in range(n):
+            req = yield from tx.nm_sr_isend(1, ("m", i), b"x" * size, size)
+            reqs.append(req)
+        for req in reqs:
+            yield from tx.nm_sr_rwait(req)
+
+    def receiver():
+        for i in range(n):
+            req = yield from rx.nm_sr_irecv(0, ("m", i), size)
+            yield from rx.nm_sr_rwait(req)
+            got.append(i)
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got == list(range(n))
+
+
+def test_window_one_gates_window_free():
+    w = _window1_world()
+    drv = w.cores[0].drivers[0]
+    assert drv.window_free()
+    drv.inflight = 1
+    assert not drv.window_free()
+    drv.inflight = 0
+    assert drv.window_free()
+
+
+def test_window_one_vs_default_window_same_result():
+    """The window depth changes pacing, never correctness."""
+    results = []
+    for make in (NmadWorld, None):
+        w = NmadWorld(rails=("ib", "mx"), strategy="split_balance") \
+            if make else _window1_world()
+        payload = b"q" * ((1 << 19) + 13)
+        _, rreq, elapsed = run_transfer(w, len(payload), data=payload)
+        assert rreq.data is payload
+        results.append(elapsed)
+    assert results[0] > 0 and results[1] > 0
