@@ -1,0 +1,32 @@
+"""Static and dynamic analyses of the reproduction itself.
+
+Three sub-packages:
+
+``traffic``
+    Trace post-processing: per-rail traffic summaries and ASCII
+    timelines (the original ``repro.analysis`` module).
+``lint``
+    The determinism lint: an AST pass over ``src/`` enforcing the
+    repo-specific invariants every ``(seed, config)`` run depends on
+    (no wall-clock, no stray RNG, no iteration-order hazards, ...).
+    Run it with ``repro lint``.
+``race``
+    The simulated-concurrency race detector: a dynamic happens-before
+    checker over the DES engine's event causality.  Run it with
+    ``repro race``.
+
+The traffic API is re-exported here so existing imports
+(``from repro.analysis import summarize_traffic``) keep working.
+"""
+
+from repro.analysis.traffic import (RailSummary, TrafficSummary,
+                                    format_timeline, format_traffic,
+                                    summarize_traffic)
+
+__all__ = [
+    "RailSummary",
+    "TrafficSummary",
+    "format_timeline",
+    "format_traffic",
+    "summarize_traffic",
+]

@@ -1,0 +1,193 @@
+"""The determinism lint engine (``repro lint``).
+
+Runs the :mod:`repro.analysis.lint.rules` registry over a set of
+source files and reports :class:`Violation` findings.  Two suppression
+mechanisms, mirroring real-world linters:
+
+inline pragma
+    ``# repro-lint: allow`` on the offending line silences every rule
+    for that line; ``# repro-lint: allow[RPR001,RPR004]`` silences only
+    the listed codes.
+
+baseline file
+    A checked-in JSON file of violation fingerprints
+    (``.repro-lint-baseline.json``).  Fingerprints hash the file path,
+    rule code and offending source text — not the line number — so
+    baselined debt survives unrelated edits but resurfaces when the
+    flagged line itself changes.  Regenerate with
+    ``repro lint --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.lint.rules import RULES, Module, Rule
+
+__all__ = ["Violation", "LintResult", "RULES", "lint_source", "lint_file",
+           "run_lint", "load_baseline", "baseline_counts", "save_baseline",
+           "default_target"]
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow(?:\[([A-Z0-9, ]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for the baseline: path + code + source text."""
+        key = f"{_normalize(self.path)}|{self.code}|{self.snippet}"
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation]      # actionable findings
+    baselined: List[Violation]       # suppressed by the baseline file
+    files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _normalize(path: str) -> str:
+    """Posix path rooted at ``repro/`` so results match from any cwd."""
+    posix = path.replace(os.sep, "/")
+    marker = posix.rfind("repro/")
+    return posix[marker:] if marker >= 0 else posix.rsplit("/", 1)[-1]
+
+
+def _pragmas(lines: Sequence[str]) -> Dict[int, Optional[frozenset]]:
+    """line number -> allowed codes (None = all codes allowed)."""
+    out: Dict[int, Optional[frozenset]] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _PRAGMA.search(text)
+        if m:
+            codes = m.group(1)
+            out[i] = (frozenset(c.strip() for c in codes.split(","))
+                      if codes else None)
+    return out
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Sequence[Rule] = RULES) -> List[Violation]:
+    """Lint one source string; raises SyntaxError on unparsable input."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    mod = Module(path=path, rel=_normalize(path), tree=tree, lines=lines)
+    pragmas = _pragmas(lines)
+
+    found: List[Violation] = []
+    for rule in rules:
+        if rule.allowed(mod.rel):
+            continue
+        for line, col, message in rule.visit(mod):
+            allowed = pragmas.get(line, False)
+            if allowed is None or (allowed and rule.code in allowed):
+                continue
+            snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+            found.append(Violation(path=path, line=line, col=col,
+                                   code=rule.code, message=message,
+                                   snippet=snippet))
+    found.sort(key=lambda v: (v.line, v.col, v.code))
+    return found
+
+
+def lint_file(path: str, rules: Sequence[Rule] = RULES) -> List[Violation]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path, rules=rules)
+
+
+def iter_py_files(paths: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                out.extend(os.path.join(root, f)
+                           for f in sorted(files) if f.endswith(".py"))
+        else:
+            out.append(path)
+    return out
+
+
+def default_target() -> str:
+    """The installed ``repro`` package directory (lint target default)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> Dict[str, int]:
+    """fingerprint -> allowed count.  Missing file = empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {str(k): int(v) for k, v in data.get("fingerprints", {}).items()}
+
+
+def baseline_counts(violations: Iterable[Violation]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        fp = violation.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    return counts
+
+
+def save_baseline(path: str, violations: Iterable[Violation]) -> None:
+    payload = {
+        "comment": "repro lint baseline; regenerate with "
+                   "`repro lint --update-baseline`",
+        "version": 1,
+        "fingerprints": dict(sorted(baseline_counts(violations).items())),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def run_lint(paths: Optional[Sequence[str]] = None,
+             baseline: Optional[Dict[str, int]] = None,
+             rules: Sequence[Rule] = RULES) -> LintResult:
+    """Lint ``paths`` (default: the installed repro package)."""
+    files = iter_py_files(paths or [default_target()])
+    found: List[Violation] = []
+    for path in files:
+        found.extend(lint_file(path, rules=rules))
+
+    remaining = dict(baseline or {})
+    fresh: List[Violation] = []
+    suppressed: List[Violation] = []
+    for violation in found:
+        fp = violation.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            suppressed.append(violation)
+        else:
+            fresh.append(violation)
+    return LintResult(violations=fresh, baselined=suppressed,
+                      files=len(files))

@@ -1,0 +1,357 @@
+"""The determinism lint rules (``RPR001`` ...).
+
+Each rule is a small AST pass with a stable code, a one-line summary,
+and an optional path allowlist (files audited to legitimately do the
+flagged thing).  Rules are registered in :data:`RULES`; the engine in
+``repro.analysis.lint`` runs them over a parsed module and merges the
+findings with pragma and baseline suppression.
+
+The rules encode the two invariants the reproduction rests on: every
+``(seed, config)`` run must be bit-for-bit deterministic, and every
+stochastic draw must flow through ``repro.simulator.rng.rng_stream``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+Finding = Tuple[int, int, str]  # (line, col, message)
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every rule."""
+
+    path: str                    # path as given on the command line
+    rel: str                     # normalized posix path, rooted at repro/
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``visit``."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    #: posix path suffixes where this rule is audited as acceptable
+    allow_paths: Tuple[str, ...] = ()
+
+    def allowed(self, rel: str) -> bool:
+        return any(rel.endswith(suffix) for suffix in self.allow_paths)
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+class WallClockRule(Rule):
+    """RPR001: no wall-clock reads outside the audited allowlist.
+
+    A single ``time.time()`` in simulation code silently couples results
+    to the host machine; host-side progress reporting must go through
+    ``repro.experiments.common.host_clock`` (the one audited call site).
+    """
+
+    code = "RPR001"
+    name = "wall-clock"
+    summary = "wall-clock read outside the audited allowlist"
+    allow_paths = ("repro/experiments/common.py",)
+
+    _CALLS = frozenset({
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today", "date.today",
+    })
+    _FROM_TIME = frozenset({
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    })
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call):
+                d = dotted(node.func)
+                if d in self._CALLS:
+                    yield (node.lineno, node.col_offset,
+                           f"wall-clock call {d!r}; host-side timing must "
+                           f"go through experiments.common.host_clock()")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._FROM_TIME:
+                        yield (node.lineno, node.col_offset,
+                               f"imports wall-clock {alias.name!r} from "
+                               f"'time'; use experiments.common.host_clock()")
+
+
+class RngRule(Rule):
+    """RPR002: no ``random`` module, no raw numpy generators.
+
+    Every stochastic draw must come from a named, seeded stream via
+    ``simulator.rng.rng_stream`` so runs replay bit-for-bit.
+    """
+
+    code = "RPR002"
+    name = "stray-rng"
+    summary = "randomness outside simulator.rng.rng_stream"
+    allow_paths = ("repro/simulator/rng.py",)
+
+    def _is_module_random(self, d: str) -> bool:
+        parts = d.split(".")
+        for i, part in enumerate(parts[:-1]):  # must have an attr after it
+            if part == "random" and (i == 0 or parts[i - 1] in ("np", "numpy")):
+                return True
+        return False
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("numpy.random"):
+                        yield (node.lineno, node.col_offset,
+                               f"import of {alias.name!r}; draw from "
+                               f"simulator.rng.rng_stream instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("random", "numpy.random", "np.random"):
+                    yield (node.lineno, node.col_offset,
+                           f"import from {node.module!r}; draw from "
+                           f"simulator.rng.rng_stream instead")
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            yield (node.lineno, node.col_offset,
+                                   "import of numpy.random; draw from "
+                                   "simulator.rng.rng_stream instead")
+            elif isinstance(node, ast.Call):
+                d = dotted(node.func)
+                if d and self._is_module_random(d):
+                    yield (node.lineno, node.col_offset,
+                           f"stochastic call {d!r}; all draws must flow "
+                           f"through simulator.rng.rng_stream")
+
+
+class IterationOrderRule(Rule):
+    """RPR003: no unordered iteration feeding the event schedule.
+
+    Iterating a ``set`` (or sorting by ``id()``) yields a hash-seed /
+    allocation dependent order; any schedule built from it diverges
+    between runs.  Wrap the iterable in ``sorted(...)``.
+    """
+
+    code = "RPR003"
+    name = "iteration-order"
+    summary = "iteration-order hazard (unordered set / id() ordering)"
+
+    @classmethod
+    def _is_set_expr(cls, node: ast.AST, setvars: set) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            d = dotted(node.func)
+            return d in ("set", "frozenset")
+        if isinstance(node, ast.Name):
+            return node.id in setvars
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)):
+            return (cls._is_set_expr(node.left, setvars)
+                    or cls._is_set_expr(node.right, setvars))
+        return False
+
+    @classmethod
+    def _iter_scope(cls, node: ast.AST) -> Iterator[ast.AST]:
+        """Child nodes in source order; nested defs are yielded (so the
+        scanner can queue them) but not descended into."""
+        for child in ast.iter_child_nodes(node):
+            yield child
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Lambda)):
+                yield from cls._iter_scope(child)
+
+    def _scan_scope(self, body: List[ast.stmt],
+                    inherited: frozenset = frozenset()) -> Iterator[Finding]:
+        setvars: set = set(inherited)
+        # (nested def, closed-over set vars at its definition point)
+        nested: List[Tuple[ast.AST, frozenset]] = []
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.append((stmt, frozenset(setvars)))
+                continue
+            for node in [stmt] + list(self._iter_scope(stmt)):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.append((node, frozenset(setvars)))
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    name = node.targets[0].id
+                    if self._is_set_expr(node.value, setvars):
+                        setvars.add(name)
+                    else:
+                        setvars.discard(name)
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    it = node.iter
+                    if self._is_set_expr(it, setvars):
+                        what = it.id if isinstance(it, ast.Name) else "a set"
+                        yield (it.lineno, it.col_offset,
+                               f"iterating unordered set {what!r}; wrap in "
+                               f"sorted(...) before it reaches the schedule")
+                elif isinstance(node, ast.Call):
+                    for kw in node.keywords:
+                        if kw.arg == "key" and isinstance(kw.value, ast.Name) \
+                                and kw.value.id == "id":
+                            yield (node.lineno, node.col_offset,
+                                   "ordering by id() is allocation-dependent "
+                                   "and differs between runs")
+        for fn, snapshot in nested:
+            yield from self._scan_scope(fn.body, snapshot)  # type: ignore[attr-defined]
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        yield from self._scan_scope(mod.tree.body)  # type: ignore[attr-defined]
+
+
+class FloatEqRule(Rule):
+    """RPR004: no ``==`` / ``!=`` between simulated timestamps.
+
+    Simulated times are accumulated floats; exact comparison works until
+    a cost model changes rounding, then silently flips.  Compare with an
+    ordering or an explicit tolerance.
+    """
+
+    code = "RPR004"
+    name = "float-eq-time"
+    summary = "float equality on simulated timestamps"
+
+    _NAMES = frozenset({"now", "arrival", "deadline", "timestamp", "t0", "t1"})
+    _SUFFIXES = ("_time", "_at", "_deadline", "_arrival", "_since")
+
+    def _timey(self, node: ast.AST) -> Optional[str]:
+        name = None
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name and (name in self._NAMES or name.endswith(self._SUFFIXES)):
+            return name
+        return None
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(isinstance(o, ast.Constant) and o.value is None
+                   for o in operands):
+                continue  # `x == None` is a different lint's problem
+            for operand in operands:
+                name = self._timey(operand)
+                if name:
+                    yield (node.lineno, node.col_offset,
+                           f"float equality on simulated timestamp {name!r}; "
+                           f"use an ordering or an explicit tolerance")
+                    break
+
+
+class MutableDefaultRule(Rule):
+    """RPR005: no mutable default arguments in simulator actors.
+
+    A shared default list/dict leaks state between simulation runs in
+    one process — the classic way two back-to-back "identical" runs
+    diverge.
+    """
+
+    code = "RPR005"
+    name = "mutable-default"
+    summary = "mutable default argument"
+
+    _CTORS = frozenset({"list", "dict", "set", "deque", "defaultdict",
+                        "collections.deque", "collections.defaultdict",
+                        "collections.OrderedDict", "OrderedDict"})
+
+    def _mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted(node.func) in self._CTORS
+        return False
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._mutable(default):
+                    yield (default.lineno, default.col_offset,
+                           "mutable default argument is shared across calls "
+                           "(and across simulation runs); default to None")
+
+
+class TaxonomyRule(Rule):
+    """RPR006: every literal trace category must be registered.
+
+    A typo'd category in ``sim.record(...)`` silently vanishes from the
+    Perfetto export and from every ``trace.filter`` consumer; this rule
+    resolves each literal against ``observability.taxonomy.CATEGORIES``.
+    """
+
+    code = "RPR006"
+    name = "trace-taxonomy"
+    summary = "trace category not registered in observability.taxonomy"
+
+    _METHODS = frozenset({"record", "filter", "count"})
+
+    def __init__(self) -> None:
+        from repro.observability.taxonomy import CATEGORIES
+        self._known = frozenset(CATEGORIES)
+
+    @staticmethod
+    def _category_like(text: str) -> bool:
+        head, dot, tail = text.partition(".")
+        return bool(dot) and head.replace("_", "").isalpha() \
+            and tail.replace("_", "").replace(".", "").isalpha()
+
+    def visit(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._METHODS
+                    and node.args):
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                continue
+            if self._category_like(arg.value) and arg.value not in self._known:
+                yield (arg.lineno, arg.col_offset,
+                       f"trace category {arg.value!r} is not registered in "
+                       f"observability.taxonomy.CATEGORIES")
+
+
+#: the registry, in code order
+RULES: Tuple[Rule, ...] = (
+    WallClockRule(),
+    RngRule(),
+    IterationOrderRule(),
+    FloatEqRule(),
+    MutableDefaultRule(),
+    TaxonomyRule(),
+)

@@ -11,6 +11,10 @@ Commands
                   metrics summary + per-layer latency breakdown
 ``faults``        chaos run: a streaming workload under a named fault
                   plan, with goodput-degradation and recovery report
+``lint``          determinism lint: AST rules RPR001.. over the package
+                  (wall-clock, RNG, iteration-order, taxonomy hygiene)
+``race``          simulated-concurrency race detector: run a preset
+                  under happens-before tracking and report conflicts
 """
 
 from __future__ import annotations
@@ -170,7 +174,7 @@ def cmd_trace(args) -> int:
 def cmd_faults(args) -> int:
     import json
 
-    from repro.faults import PLAN_NAMES, run_chaos
+    from repro.faults import run_chaos
 
     spec = _stack(args.stack)
     if spec.reliability is None:
@@ -186,6 +190,52 @@ def cmd_faults(args) -> int:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"metrics JSON written to {args.out}")
     return 0 if report.exactly_once else 1
+
+
+def cmd_lint(args) -> int:
+    import os
+
+    from repro.analysis.lint import (RULES, load_baseline, run_lint,
+                                     save_baseline)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"  {rule.code}  {rule.name:18s} {rule.summary}")
+        return 0
+    paths = args.paths or None
+    if args.update_baseline:
+        result = run_lint(paths)
+        save_baseline(args.update_baseline, result.violations)
+        print(f"baseline of {len(result.violations)} finding(s) written "
+              f"to {args.update_baseline}")
+        return 0
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(".repro-lint-baseline.json"):
+        baseline_path = ".repro-lint-baseline.json"
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    result = run_lint(paths, baseline=baseline)
+    for violation in result.violations:
+        print(violation.format())
+    status = "clean" if result.clean else \
+        f"{len(result.violations)} violation(s)"
+    suppressed = f", {len(result.baselined)} baselined" if result.baselined \
+        else ""
+    print(f"repro lint: {result.files} file(s), {status}{suppressed}")
+    return 0 if result.clean else 1
+
+
+def cmd_race(args) -> int:
+    from repro.analysis.race import run_race, run_racy_demo
+
+    if args.demo_racy:
+        report = run_racy_demo(seed=args.seed)
+        print(report.format_text())
+        return 1 if report.races else 0
+    spec = _stack(args.preset)
+    report = run_race(spec, size=_parse_size(args.size), reps=args.reps,
+                      seed=args.seed)
+    print(report.format_text())
+    return 1 if report.races else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -252,6 +302,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the full report as JSON to this path")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser("lint", help="determinism lint over the package")
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to lint (default: the repro package)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON (default: .repro-lint-baseline.json "
+                        "in the cwd when present)")
+    p.add_argument("--update-baseline", metavar="PATH", default=None,
+                   help="write current findings as the new baseline and exit")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("race", help="happens-before race detector run")
+    p.add_argument("--preset", "--stack", dest="preset",
+                   default="mpich2_nmad_reliable",
+                   help="stack preset to run under the detector")
+    p.add_argument("--size", default="64K",
+                   help="message size, K/M suffixes allowed")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--demo-racy", action="store_true",
+                   help="run the deliberately racy scenario instead "
+                        "(must report a race; exercises the detector)")
+    p.set_defaults(fn=cmd_race)
     return parser
 
 

@@ -8,7 +8,7 @@ from typing import Any, Dict, Optional
 
 from repro.hardware.nic import NIC, Frame
 from repro.mpich2.queues import Envelope, PostedQueue, UnexpectedQueue
-from repro.mpich2.request import ANY_SOURCE, MPIRequest
+from repro.mpich2.request import MPIRequest
 from repro.mpich2.stackbase import BaseStack
 
 _rid_ctr = itertools.count()

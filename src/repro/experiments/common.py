@@ -1,8 +1,20 @@
-"""Shared table formatting for the experiment scripts."""
+"""Shared table formatting (and the audited host clock) for experiments."""
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Sequence
+
+
+def host_clock() -> float:
+    """Host wall-clock seconds, for progress reporting only.
+
+    This is the single audited wall-clock entry point in the codebase:
+    the determinism lint (RPR001) bans ``time.time`` everywhere else,
+    so nothing host-dependent can leak into simulated results.  Never
+    feed this value into a simulation.
+    """
+    return time.time()
 
 
 def human_size(size: int) -> str:

@@ -8,8 +8,8 @@
 from __future__ import annotations
 
 import sys
-import time
 
+from repro.experiments.common import host_clock
 from repro.experiments import (
     ext_is_datatypes,
     ext_stencil_overlap,
@@ -25,12 +25,12 @@ def main(fast: bool = False) -> None:
     modules = [fig4_infiniband, fig5_multirail, fig6_pioman_overhead,
                fig7_overlap, fig8_nas, ext_is_datatypes, ext_stencil_overlap]
     for mod in modules:
-        t0 = time.time()
+        t0 = host_clock()
         print("\n" + "=" * 72)
         print(f"# {mod.__name__}")
         print("=" * 72)
         mod.main(fast=fast)
-        print(f"\n[{mod.__name__} done in {time.time()-t0:.1f}s wall]")
+        print(f"\n[{mod.__name__} done in {host_clock()-t0:.1f}s wall]")
 
 
 if __name__ == "__main__":

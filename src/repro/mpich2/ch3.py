@@ -25,7 +25,7 @@ from repro.mpich2.nemesis.shm import NemesisShm, ShmMessage
 from repro.mpich2.queues import ContextAnyTag, Envelope, PostedQueue, UnexpectedQueue
 from repro.mpich2.request import ANY_SOURCE, ANY_TAG, MPIRequest
 from repro.mpich2.stackbase import BaseStack
-from repro.mpich2.nemesis.netmod import CH3_CHANNEL_TAG, NewmadNetmod
+from repro.mpich2.nemesis.netmod import NewmadNetmod
 from repro.mpich2.vc import VirtualConnection
 from repro.nmad.core import ANY as NM_ANY, NmadCore
 
@@ -86,6 +86,14 @@ class CH3Stack(BaseStack):
         self.posted = PostedQueue()
         self.unexpected = UnexpectedQueue()
         self.book = AnySourceBook(self)
+        # race-detector names for the shared CH3 state, plus the region
+        # labels of the legitimate synchronized entry points
+        self._rv_posted = f"mpich2.posted@r{rank}"
+        self._rv_unexpected = f"mpich2.unexpected@r{rank}"
+        self._rv_ch3rdv = f"mpich2.ch3rdv@r{rank}"
+        self._lbl_isend = f"mpich2.isend@r{rank}"
+        self._lbl_irecv = f"mpich2.irecv@r{rank}"
+        self._lbl_probe = f"mpich2.probe@r{rank}"
         self.vcs: Dict[int, VirtualConnection] = {}
         self._ch3_rdv_ctr = itertools.count()
         self._ch3_rdv_send: Dict[int, MPIRequest] = {}
@@ -148,7 +156,8 @@ class CH3Stack(BaseStack):
                 "mpich2.send", src=self.rank, dst=dst, tag=tag, size=size,
                 path="shm" if vc.is_local else self.mode, sync=sync,
             )
-        yield from vc.send_fn(req)
+        with self.sim.sync_region(self._region, self._lbl_isend):
+            yield from vc.send_fn(req)
         return req
 
     def irecv(self, src: Any, tag: Any):
@@ -167,25 +176,30 @@ class CH3Stack(BaseStack):
                     "MPI_ANY_TAG on the CH3-direct network path is not "
                     "supported: NewMadeleine matches on exact tags")
         if src is ANY_SOURCE:
-            yield from self._post_any_source(req)
+            with self.sim.sync_region(self._region, self._lbl_irecv):
+                yield from self._post_any_source(req)
             return req
         vc = self.vcs[src]
         if vc.is_local or self.mode == "netmod":
             overhead = (self.costs.shm_recv_overhead if vc.is_local
                         else self.costs.recv_overhead)
             yield from self.cpu(overhead)
-            env = self.unexpected.match(src, tag)
-            if env is not None:
-                yield from self._deliver_env(req, env)
-            else:
-                self.posted.post(req)
+            with self.sim.sync_region(self._region, self._lbl_irecv):
+                self.sim.race_write(self._rv_unexpected)
+                env = self.unexpected.match(src, tag)
+                if env is not None:
+                    yield from self._deliver_env(req, env)
+                else:
+                    self.sim.race_write(self._rv_posted)
+                    self.posted.post(req)
         else:
             yield from self.cpu(self.costs.recv_overhead)
-            if self.book.has_pending(tag):
-                # preserve matching order behind pending ANY_SOURCE entries
-                self.book.defer_regular(tag, req)
-            else:
-                yield from self._post_remote_recv(req)
+            with self.sim.sync_region(self._region, self._lbl_irecv):
+                if self.book.has_pending(tag):
+                    # preserve matching order behind pending ANY_SOURCE
+                    self.book.defer_regular(tag, req)
+                else:
+                    yield from self._post_remote_recv(req)
         return req
 
     # ------------------------------------------------------------------
@@ -242,6 +256,7 @@ class CH3Stack(BaseStack):
             # data message below will trigger NewMadeleine's *own*
             # rendezvous — the nested handshake of Fig. 2.
             rid = next(self._ch3_rdv_ctr)
+            self.sim.race_write(self._rv_ch3rdv)
             self._ch3_rdv_send[rid] = req
             env = Envelope(src=self.rank, tag=req.tag, size=req.size)
             if self.sim.tracing:
@@ -273,18 +288,22 @@ class CH3Stack(BaseStack):
         if self.mode == "netmod":
             # the central CH3 queues match wildcards natively
             yield from self.cpu(self.costs.recv_overhead)
+            self.sim.race_write(self._rv_unexpected)
             env = self.unexpected.match(ANY_SOURCE, req.tag)
             if env is not None:
                 yield from self._deliver_env(req, env)
             else:
+                self.sim.race_write(self._rv_posted)
                 self.posted.post(req)
             return
         yield from self.cpu(self.costs.recv_overhead + self.costs.anysource_post
                             + self._pioman_sync(shm=False))
+        self.sim.race_write(self._rv_unexpected)
         env = self.unexpected.match(ANY_SOURCE, req.tag)
         if env is not None:  # an intra-node message was already waiting
             yield from self._deliver_env(req, env)
             return
+        self.sim.race_write(self._rv_posted)
         self.posted.post(req)            # visible to shared-memory matching
         self.book.add_any_source(req.tag, req)
         yield from self.book.poll_tag(req.tag)  # may already sit in nmad buffers
@@ -292,6 +311,7 @@ class CH3Stack(BaseStack):
     def _resolve_any_source(self, req: MPIRequest, src: int):
         """Probe hit: create the NewMadeleine request a posteriori."""
         yield from self.cpu(self.costs.anysource_complete)
+        self.sim.race_write(self._rv_posted)
         self.posted.remove(req)
         nm = yield from self.core.irecv(src, self._nm_tag(req.tag))
         req.nmad_req = nm
@@ -328,15 +348,17 @@ class CH3Stack(BaseStack):
     # probing
     # ------------------------------------------------------------------
     def probe_unexpected(self, src, tag):
-        env = self.unexpected.peek(src, tag)
-        if env is not None:
-            return (env.src, env.size)
-        if self.mode == "direct":
-            nm_src = NM_ANY if src is ANY_SOURCE else src
-            hit = self.core.probe(self._nm_tag(tag), src=nm_src)
-            if hit is not None:
-                return hit
-        return None
+        with self.sim.sync_region(self._region, self._lbl_probe):
+            self.sim.race_read(self._rv_unexpected)
+            env = self.unexpected.peek(src, tag)
+            if env is not None:
+                return (env.src, env.size)
+            if self.mode == "direct":
+                nm_src = NM_ANY if src is ANY_SOURCE else src
+                hit = self.core.probe(self._nm_tag(tag), src=nm_src)
+                if hit is not None:
+                    return hit
+            return None
 
     # ------------------------------------------------------------------
     # progress: incoming items
@@ -389,8 +411,10 @@ class CH3Stack(BaseStack):
             # the receiver's poll copies the message out of the queue
             # cells, which then return to the sender's free queue
             msg.cells.release()
+        self.sim.race_write(self._rv_posted)
         req = self.posted.match(env.src, env.tag)
         if req is None:
+            self.sim.race_write(self._rv_unexpected)
             self.unexpected.add(env)
             return
         if req.peer is ANY_SOURCE and self.mode == "direct":
@@ -414,20 +438,25 @@ class CH3Stack(BaseStack):
                                 size=env.size,
                                 dur=self.node.mem.copy_time(env.size))
             yield from self.cpu(self.node.mem.copy_time(env.size))
+            self.sim.race_write(self._rv_posted)
             req = self.posted.match(env.src, env.tag)
             if req is None:
+                self.sim.race_write(self._rv_unexpected)
                 self.unexpected.add(env)
             else:
                 req._finish(self.sim, data=env.data, size=env.size,
                             source=env.src, tag=env.tag)
         elif kind == "rts":
+            self.sim.race_write(self._rv_posted)
             req = self.posted.match(env.src, env.tag)
             if req is None:
                 env.proto = ("rts", env.src, rid)
+                self.sim.race_write(self._rv_unexpected)
                 self.unexpected.add(env)
             else:
                 yield from self._ch3_grant(req, env.src, rid, env)
         elif kind == "cts":
+            self.sim.race_write(self._rv_ch3rdv)
             sreq = self._ch3_rdv_send.pop(rid)
             # the data message goes through plain nmad send; being larger
             # than nmad's eager threshold it triggers nmad's *own*

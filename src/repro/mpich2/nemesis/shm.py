@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from repro.hardware.params import MemParams
-from repro.mpich2.nemesis.queue import CellAllocation, CellPool
+from repro.mpich2.nemesis.queue import CellPool
 from repro.simulator import Simulator
 
 

@@ -50,6 +50,9 @@ class BaseStack:
         self.pioman = pioman
         self.inbox: Deque[Any] = deque()
         self._signal = None
+        # virtual progress-lock region of this stack's node (race detector)
+        self._region = ("node", node.node_id)
+        self._lbl_progress = f"mpich2.progress@r{rank}"
         # stats
         self.messages_sent = 0
         self.messages_received = 0
@@ -72,8 +75,9 @@ class BaseStack:
             self._signal.succeed()
 
     def _progress_item(self, item: Any):
-        yield from self._handle_item(item)
-        yield from self._progress_hook()
+        with self.sim.sync_region(self._region, self._lbl_progress):
+            yield from self._handle_item(item)
+            yield from self._progress_hook()
 
     # ------------------------------------------------------------------
     # protocol state machine (subclass responsibility)
@@ -140,10 +144,11 @@ class BaseStack:
 
     def _drain(self):
         """Process everything pending in the inbox (active mode)."""
-        while self.inbox:
-            item = self.inbox.popleft()
-            yield from self._handle_item(item)
-        yield from self._progress_hook()
+        with self.sim.sync_region(self._region, self._lbl_progress):
+            while self.inbox:
+                item = self.inbox.popleft()
+                yield from self._handle_item(item)
+            yield from self._progress_hook()
 
     # ------------------------------------------------------------------
     # probing (MPI_Probe / MPI_Iprobe support)

@@ -166,11 +166,20 @@ class NmadCore:
         self.sent_messages = 0
         self.recv_messages = 0
 
+        # race-detector names of the shared protocol state, and the
+        # node's virtual progress-lock region for timer callbacks
+        self._region = ("node", node_id)
+        self._rv_posted = f"nmad.posted@r{rank}"
+        self._rv_unexpected = f"nmad.unexpected@r{rank}"
+        self._rv_rdv = f"nmad.rdv@r{rank}"
+        self._rv_seq = f"nmad.seq@r{rank}"
+
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
     def add_driver(self, driver: NmadDriver) -> None:
         driver.on_injected = self._on_pw_injected
+        driver.race_name = f"nmad.pending@r{self.rank}:{driver.name}"
         self.drivers.append(driver)
         self.refresh_preferred()
 
@@ -216,6 +225,7 @@ class NmadCore:
         """
         req = NmadRequest(self.sim, "send", dst_rank, tag, size, data)
         key = (dst_rank, tag)
+        self.sim.race_write(self._rv_seq)
         req.seq = self._send_seq.get(key, 0)
         self._send_seq[key] = req.seq + 1
         self.sent_messages += 1
@@ -245,6 +255,7 @@ class NmadCore:
             ), pump=False)
         else:
             state = _RdvSend(req, remaining_inject=size)
+            self.sim.race_write(self._rv_rdv)
             self._rdv_send[rdv_id] = state
             self.strategy.push(SendItem(
                 kind="rts", dst_rank=dst_rank, dst_node=dst_node,
@@ -258,6 +269,11 @@ class NmadCore:
 
     def _rts_check(self, rdv_id: int) -> None:
         """RTS retry timer: no CTS seen yet → re-issue the request."""
+        with self.sim.sync_region(self._region, "nmad.rdv_timer"):
+            self._rts_check_locked(rdv_id)
+
+    def _rts_check_locked(self, rdv_id: int) -> None:
+        self.sim.race_write(self._rv_rdv)
         state = self._rdv_send.get(rdv_id)
         if state is None or state.cts_seen:
             return
@@ -283,6 +299,11 @@ class NmadCore:
 
     def _cts_check(self, rdv_id: int) -> None:
         """CTS retry timer: no data arrived yet → re-issue the grant."""
+        with self.sim.sync_region(self._region, "nmad.rdv_timer"):
+            self._cts_check_locked(rdv_id)
+
+    def _cts_check_locked(self, rdv_id: int) -> None:
+        self.sim.race_write(self._rv_rdv)
         state = self._rdv_recv.get(rdv_id)
         if state is None or state.got_data:
             return
@@ -322,10 +343,13 @@ class NmadCore:
             self.sim.record("nmad.recv_post", rank=self.rank, src=src_rank,
                             tag=tag, dur=self.costs.recv_post)
         yield self.sim.timeout(self.costs.recv_post)
+        self.sim.race_read(self._rv_unexpected)
         idx = self._find_unexpected(src_rank, tag)
         if idx is None:
+            self.sim.race_write(self._rv_posted)
             self.posted.append(req)
             return req
+        self.sim.race_write(self._rv_unexpected)
         ux = self.unexpected.pop(idx)
         yield from self._consume_unexpected(req, ux)
         return req
@@ -337,6 +361,7 @@ class NmadCore:
         NewMadeleine function" the MPICH2 module polls for ANY_SOURCE
         support (paper Section 3.1.3/3.2.2).
         """
+        self.sim.race_read(self._rv_unexpected)
         for ux in self.unexpected:
             if ux.tag == tag and (src is ANY or ux.src_rank == src):
                 return (ux.src_rank, ux.size)
@@ -358,6 +383,7 @@ class NmadCore:
             # retransmission can deliver headers out of order; admit them
             # into matching strictly by seq so non-overtaking still holds
             key = (entry.src_rank, entry.tag)
+            self.sim.race_write(self._rv_seq)
             expected = self._admit_seq.get(key, 0)
             if entry.seq != expected:
                 if entry.seq > expected:
@@ -398,6 +424,7 @@ class NmadCore:
     # -- eager ------------------------------------------------------------
     def _handle_eager(self, entry: EagerEntry):
         yield self.sim.timeout(self.costs.match_cost)
+        self.sim.race_write(self._rv_posted)
         req = self._match_posted(entry.src_rank, entry.tag)
         if req is None:
             if self.sim.tracing:
@@ -406,6 +433,7 @@ class NmadCore:
                     dst=self.rank, tag=entry.tag, seq=entry.seq,
                     size=entry.size, depth=len(self.unexpected) + 1,
                 )
+            self.sim.race_write(self._rv_unexpected)
             self.unexpected.append(_Unexpected(
                 kind="eager", src_rank=entry.src_rank, tag=entry.tag,
                 seq=entry.seq, size=entry.size, data=entry.data,
@@ -433,7 +461,9 @@ class NmadCore:
             return
         # synchronous (no yield between check and add): a retried copy
         # arriving during any later yield point is recognized above
+        self.sim.race_write(self._rv_rdv)
         self._rts_accepted.add(entry.rdv_id)
+        self.sim.race_write(self._rv_posted)
         req = self._match_posted(entry.src_rank, entry.tag)
         if req is None:
             if self.sim.tracing:
@@ -442,6 +472,7 @@ class NmadCore:
                     dst=self.rank, tag=entry.tag, seq=entry.seq,
                     size=entry.size, depth=len(self.unexpected) + 1,
                 )
+            self.sim.race_write(self._rv_unexpected)
             self.unexpected.append(_Unexpected(
                 kind="rts", src_rank=entry.src_rank, tag=entry.tag,
                 seq=entry.seq, size=entry.size, rdv_id=entry.rdv_id,
@@ -486,6 +517,7 @@ class NmadCore:
                             dst=self.rank, size=size, dur=reg_cost)
         yield self.sim.timeout(reg_cost)
         state = _RdvRecv(req, remaining=size, src_rank=src_rank)
+        self.sim.race_write(self._rv_rdv)
         self._rdv_recv[rdv_id] = state
         self.strategy.push(SendItem(
             kind="cts", dst_rank=src_rank, dst_node=self.rank_to_node(src_rank),
@@ -497,6 +529,7 @@ class NmadCore:
 
     def _handle_cts(self, entry: CtsEntry):
         yield self.sim.timeout(self.costs.rdv_handshake_cost)
+        self.sim.race_write(self._rv_rdv)
         state = self._rdv_send.get(entry.rdv_id)
         if state is None:
             if self.reliability is not None:
@@ -535,6 +568,7 @@ class NmadCore:
         driver = self.driver_for_rail(rail)
         if not driver.rdma:
             yield self.sim.timeout(self.costs.data_chunk_cost)
+        self.sim.race_write(self._rv_rdv)
         state = self._rdv_recv.get(entry.rdv_id)
         if state is None:
             if self.reliability is not None and entry.rdv_id in self._done_rdv:
@@ -573,6 +607,7 @@ class NmadCore:
     # injection completions (callback context: no CPU charged)
     # ------------------------------------------------------------------
     def _on_pw_injected(self, pw: PacketWrapper, driver: NmadDriver) -> None:
+        self.sim.race_write(self._rv_rdv)
         for entry in pw.entries:
             if isinstance(entry, EagerEntry):
                 if entry.req is not None and not entry.req.complete:
@@ -632,6 +667,7 @@ class NmadCore:
         if not self.check_ordering:
             return
         key = (src_rank, tag)
+        self.sim.race_write(self._rv_seq)
         expected = self._recv_seq.get(key, 0)
         if self.sim.tracing:
             self.sim.record("nmad.seq_check", rank=self.rank, src=src_rank,

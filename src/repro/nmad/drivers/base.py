@@ -50,12 +50,17 @@ class NmadDriver:
         self.retransmits = 0
         self.timeouts = 0
         self.acks = 0
+        # race-detector name of the submission/retransmit state; the
+        # owning NmadCore overwrites it with a rank-qualified name
+        self.race_name = f"nmad.pending@{nic.params.name}"
+        self._region = ("node", nic.node_id)
 
     @property
     def name(self) -> str:
         return self.nic.params.name
 
     def window_free(self) -> bool:
+        self.nic.sim.race_read(self.race_name)
         return self.alive and not self._backlog and self.inflight < self.window
 
     def small_latency(self) -> float:
@@ -73,6 +78,7 @@ class NmadDriver:
         self._do_post(pw)
 
     def _do_post(self, pw: PacketWrapper) -> None:
+        self.nic.sim.race_write(self.race_name)
         self.inflight += 1
         self.pws_posted += 1
         self.last_dst = pw.dst_node
@@ -86,12 +92,16 @@ class NmadDriver:
             self._track(pw)
 
     def _injected(self, pw: PacketWrapper) -> None:
-        self.inflight -= 1
-        # failover backlog outranks fresh strategy output for the window
-        while self._backlog and self.inflight < self.window:
-            self._do_post(self._backlog.popleft())
-        if self.on_injected is not None:
-            self.on_injected(pw, self)
+        # injection completions fire from the NIC's timeline; they touch
+        # the window/backlog under the node's virtual progress lock
+        with self.nic.sim.sync_region(self._region, "nmad.injected"):
+            self.nic.sim.race_write(self.race_name)
+            self.inflight -= 1
+            # failover backlog outranks fresh strategy output for the window
+            while self._backlog and self.inflight < self.window:
+                self._do_post(self._backlog.popleft())
+            if self.on_injected is not None:
+                self.on_injected(pw, self)
 
     # ------------------------------------------------------------------
     # ack / retransmit
@@ -103,6 +113,7 @@ class NmadDriver:
 
     def _track(self, pw: PacketWrapper) -> None:
         sim = self.nic.sim
+        sim.race_write(self.race_name)
         entry = self._pending.get(pw.pw_id)
         if entry is None:
             entry = self._pending[pw.pw_id] = _PendingPw(pw, posted_at=sim.now)
@@ -114,6 +125,7 @@ class NmadDriver:
 
     def handle_ack(self, pw_id: int) -> None:
         """The receiving node confirmed delivery of ``pw_id``."""
+        self.nic.sim.race_write(self.race_name)
         entry = self._pending.pop(pw_id, None)
         if entry is None:
             return  # duplicate ack (retransmit raced the original)
@@ -127,6 +139,12 @@ class NmadDriver:
                        rtt=sim.now - entry.posted_at, retries=entry.retries)
 
     def _on_timeout(self, pw_id: int) -> None:
+        """Retransmit timer: runs on the NIC's timeline, not a thread."""
+        with self.nic.sim.sync_region(self._region, "reliab.timeout"):
+            self._on_timeout_locked(pw_id)
+
+    def _on_timeout_locked(self, pw_id: int) -> None:
+        self.nic.sim.race_write(self.race_name)
         entry = self._pending.get(pw_id)
         if entry is None or not self.alive:
             return
@@ -151,6 +169,7 @@ class NmadDriver:
         self._retransmit(entry)
 
     def _retransmit(self, entry: _PendingPw) -> None:
+        self.nic.sim.race_write(self.race_name)
         pw = entry.pw
         self.retransmits += 1
         sim = self.nic.sim
@@ -174,6 +193,7 @@ class NmadDriver:
     # ------------------------------------------------------------------
     def take_pending(self) -> List[PacketWrapper]:
         """Strip and return every unacked wrapper (rail declared dead)."""
+        self.nic.sim.race_write(self.race_name)
         orphans: List[PacketWrapper] = []
         for entry in self._pending.values():
             if entry.timer is not None:
@@ -186,6 +206,7 @@ class NmadDriver:
 
     def failover_post(self, pw: PacketWrapper) -> None:
         """Accept a wrapper migrating from a dead rail."""
+        self.nic.sim.race_write(self.race_name)
         if self.alive and not self._backlog and self.inflight < self.window:
             self._do_post(pw)
         else:

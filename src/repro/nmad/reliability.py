@@ -116,6 +116,10 @@ class RailHealthMonitor:
         self.rails_died = 0
         self.rails_recovered = 0
         self.failovers = 0
+        # race-detector name of the suspicion/probe/parked state, and
+        # the node's virtual progress-lock region for probe timers
+        self._rv = f"reliab.health@r{core.rank}"
+        self._region = ("node", core.node_id)
 
     @property
     def sim(self):
@@ -124,6 +128,7 @@ class RailHealthMonitor:
     # -- going down ------------------------------------------------------
     def rail_suspect(self, driver) -> None:
         """A driver crossed its timeout threshold; confirm via ltask."""
+        self.sim.race_write(self._rv)
         if not driver.alive or driver in self._suspected:
             return
         self._suspected.add(driver)
@@ -145,6 +150,7 @@ class RailHealthMonitor:
         return rates[driver] / total if total else 0.0
 
     def _declare_dead(self, driver) -> None:
+        self.sim.race_write(self._rv)
         self._suspected.discard(driver)
         if not driver.alive:
             return
@@ -187,10 +193,17 @@ class RailHealthMonitor:
             return
         delay = self.params.probe_interval * (
             self.params.probe_backoff ** min(n, 10))
+        self.sim.race_write(self._rv)
         self._probe_timer[driver] = self.sim.schedule(
             delay, self._send_probe, driver, n)
 
     def _send_probe(self, driver, n: int) -> None:
+        """Probe timer: runs on its own timeline, not a thread."""
+        with self.sim.sync_region(self._region, "reliab.probe"):
+            self._send_probe_locked(driver, n)
+
+    def _send_probe_locked(self, driver, n: int) -> None:
+        self.sim.race_write(self._rv)
         if driver.alive:
             return
         dst_node = driver.last_dst
@@ -208,6 +221,7 @@ class RailHealthMonitor:
 
     def on_probe_ack(self, driver) -> None:
         """A dead rail answered a probe: restore it."""
+        self.sim.race_write(self._rv)
         if driver.alive:
             return
         driver.alive = True
@@ -264,6 +278,8 @@ class FrameReliability:
             src_rank = payload.entries[0].src_rank
             self._send_ack(frame, ack_id=payload.pw_id,
                            dst_rank=src_rank, probe=False)
+            if self.sim.monitor is not None:
+                self.sim.race_write(f"reliab.seen@n{frame.dst}")
             if payload.pw_id in self._seen:
                 self.duplicates += 1
                 if self.sim.tracing:

@@ -62,6 +62,9 @@ class DefaultStrategy:
         self.core = core
         self.queue: Deque[SendItem] = deque()
         self.pws_built = 0
+        # race-detector name of the shared optimization window
+        # (tests build strategies with core=None to inspect them)
+        self._rv_queue = f"nmad.strategy@r{core.rank if core else '?'}"
 
     # -- feeding ---------------------------------------------------------
     def push(self, item: SendItem, priority: bool = False,
@@ -72,6 +75,7 @@ class DefaultStrategy:
         — how a library without a progress thread behaves when the
         application is about to leave for a compute phase (Fig. 7).
         """
+        self.core.sim.race_write(self._rv_queue)
         if priority:
             self.queue.appendleft(item)
         else:
@@ -91,6 +95,7 @@ class DefaultStrategy:
     # -- draining ----------------------------------------------------------
     def pump(self) -> None:
         """Feed idle drivers until windows are full or the queue drains."""
+        self.core.sim.race_write(self._rv_queue)
         progressed = True
         while progressed and self.queue:
             progressed = False

@@ -98,7 +98,12 @@ class PIOMan:
                                     pending=len(self._queue),
                                     dur=self.params.ltask_cost)
                 yield self.sim.timeout(self.params.ltask_cost)
-                yield from work()
+                # the ltask runs under the node's progression lock (the
+                # piom_lock of Section 3.3); the race detector serializes
+                # every region sharing this key
+                with self.sim.sync_region(("node", self.scheduler.node_id),
+                                          "pioman.ltask"):
+                    yield from work()
             self.scheduler.release_core()
         self._worker_running = False
 

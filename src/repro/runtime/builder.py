@@ -194,17 +194,21 @@ class MPIRuntime:
         return injector
 
     def _route_frame(self, frame) -> None:
-        if frame.corrupt:
-            return  # failed its CRC at the receiving NIC
-        if self.reliab is not None and not self.reliab.on_frame(frame):
-            return  # control frame or duplicate, consumed by reliability
-        payload = frame.payload
-        if isinstance(payload, PacketWrapper):
-            ranks = {e.dst_rank for e in payload.entries}
-        else:
-            ranks = {payload.dst_rank}
-        for rank in ranks:
-            self.stacks[rank].deliver(("net", frame))
+        # rx callbacks fire from the NIC's timeline; acks mutate driver
+        # state and deliveries touch stack inboxes on the dst node, so
+        # the whole dispatch runs under that node's virtual lock
+        with self.sim.sync_region(("node", frame.dst), "net.route"):
+            if frame.corrupt:
+                return  # failed its CRC at the receiving NIC
+            if self.reliab is not None and not self.reliab.on_frame(frame):
+                return  # control frame or duplicate, consumed by reliability
+            payload = frame.payload
+            if isinstance(payload, PacketWrapper):
+                ranks = {e.dst_rank for e in payload.entries}
+            else:
+                ranks = {payload.dst_rank}
+            for rank in sorted(ranks):
+                self.stacks[rank].deliver(("net", frame))
 
     # ------------------------------------------------------------------
     def run(self, program: Callable, until: Optional[float] = None) -> RunResult:

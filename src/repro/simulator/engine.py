@@ -22,17 +22,34 @@ class ScheduledCallback:
     event loop skips it when popped (lazy deletion).
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "origin")
 
     def __init__(self, time: float, fn: Callable, args: tuple):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # ``origin`` (scheduler's vector-clock snapshot) is attached by an
+        # installed monitor; absent in normal runs to keep handles small.
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
         self.cancelled = True
+
+
+class _NullRegion:
+    """No-op stand-in for :meth:`Simulator.sync_region` without a monitor."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullRegion":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_REGION = _NullRegion()
 
 
 class Simulator:
@@ -69,6 +86,10 @@ class Simulator:
         #: building the kwargs dict for :meth:`record`
         self.tracing = False
         self.trace = trace
+        #: optional execution monitor (duck-typed; see
+        #: ``repro.analysis.race.RaceDetector``).  When set, the engine
+        #: reports every schedule and callback slice to it.
+        self.monitor: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock & scheduling
@@ -91,6 +112,8 @@ class Simulator:
                 f"cannot schedule in the past (now={self._now!r}, time={time!r})"
             )
         handle = ScheduledCallback(time, fn, args)
+        if self.monitor is not None:
+            self.monitor.on_schedule(handle)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
         return handle
@@ -136,7 +159,15 @@ class Simulator:
             if handle.cancelled:
                 continue
             self._now = time
-            handle.fn(*handle.args)
+            monitor = self.monitor
+            if monitor is None:
+                handle.fn(*handle.args)
+            else:
+                monitor.before_step(handle)
+                try:
+                    handle.fn(*handle.args)
+                finally:
+                    monitor.after_step(handle)
             return True
         return False
 
@@ -171,6 +202,35 @@ class Simulator:
         for task in self._failed_tasks:
             if not task._observed:
                 raise task.value
+
+    # ------------------------------------------------------------------
+    # Concurrency-analysis hooks (no-ops unless a monitor is installed)
+    # ------------------------------------------------------------------
+    def sync_region(self, key: Any, label: Optional[str] = None):
+        """A virtual lock region for the installed monitor.
+
+        Models the locks the real stack takes around progress-engine
+        state (e.g. PIOMan's per-node progression lock).  Regions with
+        equal ``key`` are treated as one lock: the monitor serializes
+        them with release->acquire happens-before edges.  Without a
+        monitor this returns a shared no-op context manager.
+        """
+        monitor = self.monitor
+        if monitor is None:
+            return _NULL_REGION
+        return monitor.region(key, label)
+
+    def race_read(self, name: str, detail: Optional[str] = None) -> None:
+        """Record a read of the named shared variable (monitor only)."""
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_access(name, False, detail)
+
+    def race_write(self, name: str, detail: Optional[str] = None) -> None:
+        """Record a write of the named shared variable (monitor only)."""
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_access(name, True, detail)
 
     # ------------------------------------------------------------------
     # Tracing

@@ -44,6 +44,9 @@ class Semaphore:
         evt = self.sim.event()
         if self._value > 0:
             self._value -= 1
+            monitor = self.sim.monitor
+            if monitor is not None:
+                monitor.sync_acquire(("sem", id(self)))
             evt.succeed()
         else:
             self._waiters.append(evt)
@@ -53,10 +56,16 @@ class Semaphore:
         """Non-blocking acquire; True on success."""
         if self._value > 0:
             self._value -= 1
+            monitor = self.sim.monitor
+            if monitor is not None:
+                monitor.sync_acquire(("sem", id(self)))
             return True
         return False
 
     def release(self, units: int = 1) -> None:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.sync_release(("sem", id(self)))
         for _ in range(units):
             if self._waiters:
                 self._waiters.popleft().succeed()
@@ -99,6 +108,9 @@ class Channel:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.sync_release(("chan", id(self)))
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
@@ -107,6 +119,7 @@ class Channel:
     def get(self) -> Event:
         evt = self.sim.event()
         if self._items:
+            self._observe()
             evt.succeed(self._items.popleft())
         else:
             self._getters.append(evt)
@@ -115,11 +128,19 @@ class Channel:
     def try_get(self) -> Optional[Any]:
         """Non-blocking get; None when empty."""
         if self._items:
+            self._observe()
             return self._items.popleft()
         return None
 
     def peek(self) -> Optional[Any]:
         """Look at the head item without removing it; None when empty."""
         if self._items:
+            self._observe()
             return self._items[0]
         return None
+
+    def _observe(self) -> None:
+        """Join the putters' published clock into the current context."""
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.sync_acquire(("chan", id(self)))

@@ -1,0 +1,114 @@
+"""Lint engine: pragmas, baseline workflow, repo cleanliness, CLI."""
+
+import json
+
+from repro.analysis.lint import (
+    baseline_counts,
+    default_target,
+    lint_source,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+from repro.cli import main
+
+BAD = "import time\nstarted = time.time()\n"
+
+
+# ----------------------------------------------------------------------
+# pragma suppression
+# ----------------------------------------------------------------------
+def test_pragma_bare_allows_every_rule():
+    src = "import time\nstarted = time.time()  # repro-lint: allow\n"
+    assert lint_source(src, path="repro/x.py") == []
+
+
+def test_pragma_with_codes_is_selective():
+    allowed = ("import time\n"
+               "t = time.time()  # repro-lint: allow[RPR001]\n")
+    assert lint_source(allowed, path="repro/x.py") == []
+    wrong_code = ("import time\n"
+                  "t = time.time()  # repro-lint: allow[RPR002]\n")
+    assert [v.code for v in lint_source(wrong_code, path="repro/x.py")] \
+        == ["RPR001"]
+
+
+# ----------------------------------------------------------------------
+# baseline workflow
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_suppresses_then_resurfaces(tmp_path):
+    bad = tmp_path / "legacy.py"
+    bad.write_text(BAD)
+    baseline_file = tmp_path / "baseline.json"
+
+    first = run_lint([str(bad)])
+    assert [v.code for v in first.violations] == ["RPR001"]
+
+    save_baseline(str(baseline_file), first.violations)
+    data = json.loads(baseline_file.read_text())
+    assert data["version"] == 1 and len(data["fingerprints"]) == 1
+
+    second = run_lint([str(bad)], baseline=load_baseline(str(baseline_file)))
+    assert second.clean and len(second.baselined) == 1
+
+    # editing the flagged line invalidates its fingerprint
+    bad.write_text("import time\nstarted = time.time() + 1.0\n")
+    third = run_lint([str(bad)], baseline=load_baseline(str(baseline_file)))
+    assert [v.code for v in third.violations] == ["RPR001"]
+
+
+def test_fingerprint_survives_line_moves():
+    a = lint_source(BAD, path="repro/x.py")[0]
+    b = lint_source("# a comment\n\n" + BAD, path="repro/x.py")[0]
+    assert a.line != b.line
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_baseline_counts_duplicate_snippets():
+    src = BAD + "later = time.time()\nlater = time.time()\n"
+    violations = lint_source(src, path="repro/x.py")
+    counts = baseline_counts(violations)
+    assert sorted(counts.values()) == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# the repo itself must be clean
+# ----------------------------------------------------------------------
+def test_repro_package_is_lint_clean():
+    result = run_lint([default_target()])
+    assert result.files > 50
+    formatted = "\n".join(v.format() for v in result.violations)
+    assert result.clean, f"lint violations in the package:\n{formatted}"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+
+    assert main(["lint", str(good)]) == 0
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "1 violation(s)" in out
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        assert code in out
+
+
+def test_cli_lint_baseline_flow(tmp_path, capsys):
+    bad = tmp_path / "legacy.py"
+    bad.write_text(BAD)
+    baseline = tmp_path / "baseline.json"
+
+    assert main(["lint", "--update-baseline", str(baseline), str(bad)]) == 0
+    assert main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out

@@ -1,0 +1,225 @@
+"""Good/bad fixtures for every determinism-lint rule."""
+
+import textwrap
+
+from repro.analysis.lint import lint_source
+
+
+def check(source, path="repro/somefile.py"):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+def codes(source, path="repro/somefile.py"):
+    return [v.code for v in check(source, path)]
+
+
+# ----------------------------------------------------------------------
+# RPR001 wall-clock
+# ----------------------------------------------------------------------
+def test_rpr001_flags_time_time():
+    vs = check("""
+        import time
+        started = time.time()
+    """)
+    assert [v.code for v in vs] == ["RPR001"]
+    assert "host_clock" in vs[0].message
+
+
+def test_rpr001_flags_perf_counter_and_datetime_now():
+    assert codes("""
+        import time
+        t = time.perf_counter()
+    """) == ["RPR001"]
+    assert codes("""
+        import datetime
+        stamp = datetime.datetime.now()
+    """) == ["RPR001"]
+
+
+def test_rpr001_flags_from_time_import():
+    assert codes("from time import perf_counter\n") == ["RPR001"]
+
+
+def test_rpr001_clean_on_sim_clock_and_sleep():
+    assert codes("""
+        import time
+        def run(sim):
+            t = sim.now
+            time.sleep(0)  # sleeping is not *reading* the clock
+    """) == []
+
+
+def test_rpr001_allowlisted_in_experiments_common():
+    source = "import time\n\ndef host_clock():\n    return time.time()\n"
+    assert lint_source(source, path="src/repro/experiments/common.py") == []
+    assert [v.code for v in lint_source(source, path="repro/other.py")] \
+        == ["RPR001"]
+
+
+# ----------------------------------------------------------------------
+# RPR002 stray RNG
+# ----------------------------------------------------------------------
+def test_rpr002_flags_random_module():
+    assert codes("import random\n") == ["RPR002"]
+    assert codes("from random import randint\n") == ["RPR002"]
+
+
+def test_rpr002_flags_numpy_random():
+    assert codes("""
+        import numpy as np
+        rng = np.random.default_rng()
+    """) == ["RPR002"]
+    assert codes("from numpy import random\n") == ["RPR002"]
+
+
+def test_rpr002_clean_on_named_streams():
+    assert codes("""
+        from repro.simulator.rng import rng_stream
+
+        def jitter(seed):
+            stream = rng_stream("marcel.jitter", seed)
+            return stream.random()
+    """) == []
+
+
+def test_rpr002_clean_on_generator_attribute_named_random():
+    # self._jitter_rng.random() is a draw from an already-seeded stream
+    assert codes("""
+        def draw(self):
+            return self._jitter_rng.random()
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 iteration order
+# ----------------------------------------------------------------------
+def test_rpr003_flags_for_over_set_literal_and_var():
+    assert codes("""
+        def f(items):
+            for x in {1, 2, 3}:
+                print(x)
+    """) == ["RPR003"]
+    assert codes("""
+        def f(entries):
+            pending = set(entries)
+            for item in pending:
+                print(item)
+    """) == ["RPR003"]
+
+
+def test_rpr003_flags_comprehension_and_set_arithmetic():
+    assert codes("""
+        def f(a, b):
+            lost = set(a) - set(b)
+            return [x for x in lost]
+    """) == ["RPR003"]
+
+
+def test_rpr003_flags_sort_key_id():
+    assert codes("""
+        def f(objs):
+            objs.sort(key=id)
+    """) == ["RPR003"]
+
+
+def test_rpr003_clean_when_sorted_or_rebound():
+    assert codes("""
+        def f(entries):
+            pending = set(entries)
+            for item in sorted(pending):
+                print(item)
+    """) == []
+    # rebinding to a list clears the set-ness
+    assert codes("""
+        def f(entries):
+            pending = set(entries)
+            pending = sorted(pending)
+            for item in pending:
+                print(item)
+    """) == []
+
+
+def test_rpr003_nested_function_scanned_in_its_own_scope():
+    vs = check("""
+        def outer(entries):
+            pending = set(entries)
+            def inner():
+                for item in pending:
+                    print(item)
+            for item in sorted(pending):
+                print(item)
+    """)
+    # the inner loop iterates the closed-over set: exactly one finding
+    assert [v.code for v in vs] == ["RPR003"]
+
+
+# ----------------------------------------------------------------------
+# RPR004 float equality on timestamps
+# ----------------------------------------------------------------------
+def test_rpr004_flags_timestamp_equality():
+    assert codes("""
+        def f(sim, frame):
+            if sim.now == frame.arrival:
+                return True
+    """) == ["RPR004"]
+    assert codes("""
+        def f(a, b):
+            return a.finish_time != b.finish_time
+    """) == ["RPR004"]
+
+
+def test_rpr004_clean_on_orderings_and_none_checks():
+    assert codes("""
+        def f(sim, frame):
+            if sim.now >= frame.arrival:
+                return True
+            if frame.deadline == None:
+                return False
+    """) == []
+    assert codes("""
+        def f(count, expected):
+            return count == expected
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# RPR005 mutable defaults
+# ----------------------------------------------------------------------
+def test_rpr005_flags_list_dict_and_ctor_defaults():
+    assert codes("def f(items=[]):\n    pass\n") == ["RPR005"]
+    assert codes("def f(*, table=dict()):\n    pass\n") == ["RPR005"]
+    assert codes("""
+        from collections import deque
+
+        def f(queue=deque()):
+            pass
+    """) == ["RPR005"]
+
+
+def test_rpr005_clean_on_none_and_immutable_defaults():
+    assert codes("""
+        def f(items=None, rails=(), name="x", n=3):
+            pass
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# RPR006 trace taxonomy
+# ----------------------------------------------------------------------
+def test_rpr006_flags_unregistered_category():
+    vs = check("""
+        def f(sim):
+            sim.record("nmad.bogus_category", rank=0)
+    """)
+    assert [v.code for v in vs] == ["RPR006"]
+    assert "nmad.bogus_category" in vs[0].message
+
+
+def test_rpr006_clean_on_registered_category_and_plain_strings():
+    assert codes("""
+        def f(sim, trace):
+            sim.record("nmad.send_post", rank=0)
+            trace.filter("pioman.ltask")
+            print("hello there")       # not a .record/.filter call
+            sim.record(category, x=1)  # dynamic: not checkable
+    """) == []
