@@ -1,0 +1,85 @@
+"""Guard against simulator hot-path regressions.
+
+Compares a fresh ``--benchmark-json`` run of ``bench_simulator.py``
+against the committed baseline ``BENCH_simulator.json``: if any
+benchmark's throughput (1 / mean seconds) drops more than the threshold
+(default 15 %), exit non-zero.  Speedups are reported and always pass —
+refresh the committed baseline when they stick::
+
+    pytest benchmarks/bench_simulator.py --benchmark-only \
+        --benchmark-json=BENCH_simulator.json
+
+Usage::
+
+    python benchmarks/check_simulator_regression.py NEW.json \
+        [--baseline BENCH_simulator.json] [--threshold 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+
+def _throughputs(path: str) -> Dict[str, float]:
+    """benchmark fullname -> events-per-second-style throughput."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for bench in data["benchmarks"]:
+        mean = bench["stats"]["mean"]
+        if mean > 0:
+            out[bench["fullname"]] = 1.0 / mean
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on simulator benchmark throughput regressions")
+    parser.add_argument("current", help="fresh --benchmark-json output")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             os.pardir,
+                                             "BENCH_simulator.json"))
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional throughput drop")
+    args = parser.parse_args(argv)
+
+    baseline = _throughputs(args.baseline)
+    current = _throughputs(args.current)
+    if not baseline:
+        print("no baseline benchmarks found", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = current[name] / base
+        marker = "OK "
+        if ratio < 1.0 - args.threshold:
+            marker = "REG"
+            failures.append(
+                f"{name}: {ratio:.2f}x baseline throughput "
+                f"(limit {1.0 - args.threshold:.2f}x)")
+        print(f"  {marker} {name.split('::')[-1]:40s} {ratio:6.2f}x baseline")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  NEW {name.split('::')[-1]:40s} (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} benchmarks within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

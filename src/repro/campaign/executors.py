@@ -1,0 +1,100 @@
+"""Point execution: pure-data point config -> JSON-clean result.
+
+One executor per point ``kind``.  Every executor rebuilds its stack,
+cluster, and workload objects from the serialized params, runs exactly
+the same workload call the serial experiment modules make, and returns
+a plain dict of floats/ints/lists — JSON-clean so a cache round-trip
+reproduces the result bit-identically (tuples are forbidden: JSON would
+silently turn them into lists).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro import config
+
+
+def build_stack(ref: Dict[str, Any]) -> config.StackSpec:
+    """Rebuild a :class:`~repro.config.StackSpec` from a ``stack_ref``."""
+    preset = ref["preset"]
+    factory = getattr(config, preset, None)
+    if factory is None or not callable(factory):
+        raise ValueError(f"unknown stack preset {preset!r}")
+    kw = dict(ref.get("kw") or {})
+    if "rails" in kw:
+        kw["rails"] = tuple(kw["rails"])
+    return factory(**kw)
+
+
+def _exec_netpipe(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.workloads.netpipe import run_netpipe
+
+    spec = build_stack(params["stack"])
+    res = run_netpipe(spec, config.xeon_pair(), [params["size"]],
+                      reps=params["reps"],
+                      warmup=params.get("warmup", 2),
+                      anysource=params.get("anysource", False),
+                      intra_node=params.get("intra_node", False))
+    return {"latency": res.latencies[0], "bandwidth": res.bandwidths[0]}
+
+
+def _exec_overlap(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.workloads.overlap import run_overlap
+
+    spec = build_stack(params["stack"])
+    res = run_overlap(spec, config.xeon_pair(), [params["size"]],
+                      params["compute"], reps=params["reps"])
+    return {"sending_time": res.sending_times[0]}
+
+
+def _exec_nas(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.workloads.nas import run_kernel
+    from repro.workloads.nas.base import KERNELS
+
+    spec = build_stack(params["stack"])
+    kernel = params["kernel"]
+    registered_variant = False
+    if kernel == "is-contig" and kernel not in KERNELS:
+        # the ext_is_datatypes contiguous-layout variant of the IS skeleton
+        from repro.experiments.ext_is_datatypes import _contiguous_is
+
+        KERNELS[kernel] = _contiguous_is()
+        registered_variant = True
+    try:
+        res = run_kernel(kernel, params["cls"], params["procs"], spec,
+                         sim_iters=params.get("sim_iters"))
+    finally:
+        if registered_variant:
+            KERNELS.pop(kernel, None)
+    return {"time_seconds": res.time_seconds,
+            "simulated_iters": res.simulated_iters,
+            "total_iters": res.total_iters}
+
+
+def _exec_stencil(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.workloads.stencil import StencilConfig, run_stencil
+
+    spec = build_stack(params["stack"])
+    cfg = StencilConfig(**params["cfg"])
+    res = run_stencil(spec, params["nprocs"], cfg,
+                      overlap=params["overlap"])
+    return {"time_seconds": res.time_seconds, "per_iter": res.per_iter}
+
+
+_EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "netpipe": _exec_netpipe,
+    "overlap": _exec_overlap,
+    "nas": _exec_nas,
+    "stencil": _exec_stencil,
+}
+
+
+def execute_point(point_config: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one point (given as ``Point.config()`` data) to its result."""
+    kind = point_config["kind"]
+    executor = _EXECUTORS.get(kind)
+    if executor is None:
+        raise ValueError(f"unknown point kind {kind!r}; "
+                         f"known: {', '.join(sorted(_EXECUTORS))}")
+    return executor(point_config["params"])

@@ -15,6 +15,9 @@ Commands
                   (wall-clock, RNG, iteration-order, taxonomy hygiene)
 ``race``          simulated-concurrency race detector: run a preset
                   under happens-before tracking and report conflicts
+``campaign``      parallel experiment campaign: decompose experiments
+                  into points, execute across a process pool, memoize
+                  in a content-addressed result cache
 """
 
 from __future__ import annotations
@@ -238,6 +241,34 @@ def cmd_race(args) -> int:
     return 1 if report.races else 0
 
 
+def cmd_campaign(args) -> int:
+    import importlib
+    import json
+
+    from repro.campaign import ResultCache, run_campaign
+    from repro.campaign.runner import ALL_MODULES
+
+    names = args.names or None
+    for name in args.names:
+        if name not in ALL_MODULES:
+            raise SystemExit(f"unknown experiment module {name!r}; "
+                             f"available: {', '.join(ALL_MODULES)}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_campaign(modules=names, fast=args.fast,
+                          workers=args.workers, cache=cache,
+                          force=args.force)
+    if not args.quiet:
+        for name, data in report.modules.items():
+            importlib.import_module(f"repro.experiments.{name}").render(data)
+            print()
+    print(report.format_summary())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"campaign report written to {args.report}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -327,6 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the deliberately racy scenario instead "
                         "(must report a race; exercises the detector)")
     p.set_defaults(fn=cmd_race)
+
+    p = sub.add_parser("campaign", help="parallel, cached experiment "
+                                        "campaign over the paper figures")
+    p.add_argument("names", nargs="*",
+                   help="experiment modules (default: all of run_all)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width (1 = in-process)")
+    p.add_argument("--fast", action="store_true", help="reduced sweeps")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache entirely")
+    p.add_argument("--force", action="store_true",
+                   help="recompute every point even on a cache hit")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print the campaign summary, not the tables")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write merged results + stats as JSON to PATH")
+    p.set_defaults(fn=cmd_campaign)
     return parser
 
 

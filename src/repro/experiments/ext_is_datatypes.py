@@ -13,19 +13,27 @@ Run: ``python -m repro.experiments.ext_is_datatypes``
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro import config
+from repro.campaign.executors import execute_point
+from repro.campaign.points import Point, stack_ref
 from repro.experiments.common import print_grouped_table
-from repro.workloads.nas import run_kernel
 from repro.workloads.nas.base import KERNELS, KernelSpec
 
+MODULE = "ext_is_datatypes"
+
 PROCS = [4, 8, 16]
+
+#: (series label, stack reference, kernel name)
+SERIES = [
+    ("strided (datatypes)", stack_ref("mpich2_nmad"), "is"),
+    ("contiguous", stack_ref("mpich2_nmad"), "is-contig"),
+    ("strided, MVAPICH2", stack_ref("mvapich2"), "is"),
+]
 
 
 def _contiguous_is() -> KernelSpec:
     """The IS skeleton with the strided key exchange made contiguous."""
-    from repro.workloads.nas import is_ as is_module
 
     def iteration(comm, ctx, i):
         nkeys = ctx.cls.grid[0]
@@ -43,32 +51,35 @@ def _contiguous_is() -> KernelSpec:
         proc_rule=spec.proc_rule, default_sim_iters=spec.default_sim_iters)
 
 
-def run(fast: bool = False, cls: str = None) -> Dict:
-    cls = cls or ("A" if fast else "B")
-    procs = PROCS[:2] if fast else PROCS
+def _shape(fast: bool):
+    return "A" if fast else "B", (PROCS[:2] if fast else PROCS)
 
-    contig = _contiguous_is()
-    KERNELS["is-contig"] = contig
-    try:
-        tables: Dict[str, list] = {
-            "strided (datatypes)": [], "contiguous": [],
-            "strided, MVAPICH2": [],
-        }
+
+def points(fast: bool = False) -> List[Point]:
+    """One NAS point per (series, process count)."""
+    cls, procs = _shape(fast)
+    pts = []
+    for label, ref, kernel in SERIES:
         for p in procs:
-            tables["strided (datatypes)"].append(
-                run_kernel("is", cls, p, config.mpich2_nmad()).time_seconds)
-            tables["contiguous"].append(
-                run_kernel("is-contig", cls, p,
-                           config.mpich2_nmad()).time_seconds)
-            tables["strided, MVAPICH2"].append(
-                run_kernel("is", cls, p, config.mvapich2()).time_seconds)
-    finally:
-        KERNELS.pop("is-contig", None)
+            pts.append(Point(MODULE, f"{label}/{p}", "nas",
+                             {"stack": ref, "kernel": kernel, "cls": cls,
+                              "procs": p}))
+    return pts
+
+
+def merge(results: Dict[str, dict], fast: bool = False) -> Dict:
+    cls, procs = _shape(fast)
+    tables = {label: [results[f"{label}/{p}"]["time_seconds"]
+                      for p in procs] for label, _ref, _k in SERIES}
     return {"class": cls, "procs": procs, "tables": tables}
 
 
-def main(fast: bool = False) -> Dict:
-    data = run(fast=fast)
+def run(fast: bool = False) -> Dict:
+    return merge({p.key: execute_point(p.config()) for p in points(fast)},
+                 fast=fast)
+
+
+def render(data: Dict) -> None:
     print_grouped_table(
         f"Extension: NAS IS class {data['class']} "
         "(excluded from the paper's runs)",
@@ -77,6 +88,11 @@ def main(fast: bool = False) -> Dict:
     print("\nThe strided/contiguous gap is the datatype pack/unpack cost —")
     print("the overhead the paper hoped NewMadeleine's optimization schemes")
     print("could attack (conclusion, future work).")
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    render(data)
     return data
 
 

@@ -12,38 +12,63 @@ Run: ``python -m repro.experiments.ext_stencil_overlap``
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import asdict
+from typing import Dict, List
 
-from repro import config
+from repro.campaign.executors import execute_point
+from repro.campaign.points import Point, stack_ref
 from repro.experiments.common import print_grouped_table
-from repro.workloads.stencil import StencilConfig, run_stencil
+from repro.workloads.stencil import StencilConfig
+
+MODULE = "ext_stencil_overlap"
 
 STACKS = [
-    ("MVAPICH2", config.mvapich2),
-    ("Open MPI", config.openmpi_ib),
-    ("MPICH2-Nmad", config.mpich2_nmad),
-    ("MPICH2-Nmad+PIOMan", config.mpich2_nmad_pioman),
+    ("MVAPICH2", stack_ref("mvapich2")),
+    ("Open MPI", stack_ref("openmpi_ib")),
+    ("MPICH2-Nmad", stack_ref("mpich2_nmad")),
+    ("MPICH2-Nmad+PIOMan", stack_ref("mpich2_nmad_pioman")),
 ]
 
 
-def run(fast: bool = False, nprocs: int = 16) -> Dict:
-    cfg = StencilConfig(n=4096 if fast else 8192, iters=4 if fast else 10)
+def _cfg(fast: bool) -> StencilConfig:
+    return StencilConfig(n=4096 if fast else 8192, iters=4 if fast else 10)
+
+
+def points(fast: bool = False, nprocs: int = 16) -> List[Point]:
+    """One stencil point per (stack, overlap mode)."""
+    cfg = asdict(_cfg(fast))
+    pts = []
+    for name, ref in STACKS:
+        for mode, overlap in (("plain", False), ("overlap", True)):
+            pts.append(Point(MODULE, f"{name}/{mode}", "stencil",
+                             {"stack": ref, "nprocs": nprocs, "cfg": cfg,
+                              "overlap": overlap}))
+    return pts
+
+
+def merge(results: Dict[str, dict], fast: bool = False,
+          nprocs: int = 16) -> Dict:
+    cfg = _cfg(fast)
     tables: Dict[str, list] = {"no overlap": [], "overlapped": [],
                                "speedup %": []}
     rows = []
-    for name, factory in STACKS:
+    for name, _ref in STACKS:
         rows.append(name)
-        plain = run_stencil(factory(), nprocs, cfg, overlap=False)
-        over = run_stencil(factory(), nprocs, cfg, overlap=True)
-        tables["no overlap"].append(plain.per_iter * 1e3)
-        tables["overlapped"].append(over.per_iter * 1e3)
-        tables["speedup %"].append(
-            100.0 * (plain.per_iter - over.per_iter) / plain.per_iter)
+        plain = results[f"{name}/plain"]["per_iter"]
+        over = results[f"{name}/overlap"]["per_iter"]
+        tables["no overlap"].append(plain * 1e3)
+        tables["overlapped"].append(over * 1e3)
+        tables["speedup %"].append(100.0 * (plain - over) / plain)
     return {"rows": rows, "tables": tables, "nprocs": nprocs, "cfg": cfg}
 
 
-def main(fast: bool = False) -> Dict:
-    data = run(fast=fast)
+def run(fast: bool = False, nprocs: int = 16) -> Dict:
+    return merge({p.key: execute_point(p.config())
+                  for p in points(fast, nprocs=nprocs)},
+                 fast=fast, nprocs=nprocs)
+
+
+def render(data: Dict) -> None:
     print_grouped_table(
         f"Extension: 2D stencil halo exchange, {data['nprocs']} processes "
         f"(n={data['cfg'].n})",
@@ -51,6 +76,11 @@ def main(fast: bool = False) -> Dict:
     print("\nOnly the PIOMan-backed stack converts the nonblocking halo")
     print("idiom into actual overlap — the application-level payoff the")
     print("paper's conclusion anticipates.")
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    render(data)
     return data
 
 

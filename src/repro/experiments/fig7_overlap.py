@@ -8,11 +8,13 @@ computation; Fig. 7(b): rendezvous progression over IB with 400 us.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro import config
+from repro.campaign.executors import execute_point
+from repro.campaign.points import Point, stack_ref
 from repro.experiments.common import print_series_table
-from repro.workloads.overlap import run_overlap
+
+MODULE = "fig7_overlap"
 
 EAGER_SIZES = [4 << 10, 16 << 10]
 EAGER_COMPUTE = 20e-6
@@ -25,40 +27,65 @@ PAPER = {
                   "Open MPI, MVAPICH2 and plain MPICH2 do not",
 }
 
+EAGER_STACKS = [
+    ("Reference (no computation)", stack_ref("mpich2_nmad", rails=["mx"]),
+     0.0),
+    ("MPICH2:Nem:NMad:MX", stack_ref("mpich2_nmad", rails=["mx"]),
+     EAGER_COMPUTE),
+    ("MPICH2:Nem:Nmad:PIOMan:MX", stack_ref("mpich2_nmad_pioman",
+                                            rails=["mx"]), EAGER_COMPUTE),
+    ("Open MPI:BTL:MX", stack_ref("openmpi_btl_mx"), EAGER_COMPUTE),
+    ("Open MPI:PML:MX", stack_ref("openmpi_pml_mx"), EAGER_COMPUTE),
+]
 
-def run(fast: bool = False) -> Dict:
-    cluster = config.xeon_pair()
-    reps = 2 if fast else 5
+RDV_STACKS = [
+    ("Reference (no computation)", stack_ref("mpich2_nmad"), 0.0),
+    ("MPICH2:Nem:NMad:IB", stack_ref("mpich2_nmad"), RDV_COMPUTE),
+    ("MPICH2:Nem:Nmad:PIOMan:IB", stack_ref("mpich2_nmad_pioman"),
+     RDV_COMPUTE),
+    ("Open MPI", stack_ref("openmpi_ib"), RDV_COMPUTE),
+    ("MVAPICH2", stack_ref("mvapich2"), RDV_COMPUTE),
+]
 
-    eager: Dict[str, list] = {}
-    for name, spec, comp in [
-        ("Reference (no computation)", config.mpich2_nmad(rails=("mx",)), 0.0),
-        ("MPICH2:Nem:NMad:MX", config.mpich2_nmad(rails=("mx",)), EAGER_COMPUTE),
-        ("MPICH2:Nem:Nmad:PIOMan:MX", config.mpich2_nmad_pioman(rails=("mx",)),
-         EAGER_COMPUTE),
-        ("Open MPI:BTL:MX", config.openmpi_btl_mx(), EAGER_COMPUTE),
-        ("Open MPI:PML:MX", config.openmpi_pml_mx(), EAGER_COMPUTE),
-    ]:
-        eager[name] = run_overlap(spec, cluster, EAGER_SIZES, comp,
-                                  reps=reps).sending_times
 
-    rdv: Dict[str, list] = {}
-    for name, spec, comp in [
-        ("Reference (no computation)", config.mpich2_nmad(), 0.0),
-        ("MPICH2:Nem:NMad:IB", config.mpich2_nmad(), RDV_COMPUTE),
-        ("MPICH2:Nem:Nmad:PIOMan:IB", config.mpich2_nmad_pioman(), RDV_COMPUTE),
-        ("Open MPI", config.openmpi_ib(), RDV_COMPUTE),
-        ("MVAPICH2", config.mvapich2(), RDV_COMPUTE),
-    ]:
-        rdv[name] = run_overlap(spec, cluster, RDV_SIZES, comp,
-                                reps=reps).sending_times
+def _reps(fast: bool) -> int:
+    return 2 if fast else 5
 
+
+def points(fast: bool = False) -> List[Point]:
+    """One overlap point per (panel, stack, size)."""
+    reps = _reps(fast)
+    pts = []
+    for name, ref, comp in EAGER_STACKS:
+        for size in EAGER_SIZES:
+            pts.append(Point(MODULE, f"eager/{name}/{size}", "overlap",
+                             {"stack": ref, "size": size, "compute": comp,
+                              "reps": reps}))
+    for name, ref, comp in RDV_STACKS:
+        for size in RDV_SIZES:
+            pts.append(Point(MODULE, f"rdv/{name}/{size}", "overlap",
+                             {"stack": ref, "size": size, "compute": comp,
+                              "reps": reps}))
+    return pts
+
+
+def merge(results: Dict[str, dict], fast: bool = False) -> Dict:
+    eager = {name: [results[f"eager/{name}/{s}"]["sending_time"]
+                    for s in EAGER_SIZES]
+             for name, _ref, _c in EAGER_STACKS}
+    rdv = {name: [results[f"rdv/{name}/{s}"]["sending_time"]
+                  for s in RDV_SIZES]
+           for name, _ref, _c in RDV_STACKS}
     return {"eager_sizes": EAGER_SIZES, "eager": eager,
             "rdv_sizes": RDV_SIZES, "rdv": rdv}
 
 
-def main(fast: bool = False) -> Dict:
-    data = run(fast=fast)
+def run(fast: bool = False) -> Dict:
+    return merge({p.key: execute_point(p.config()) for p in points(fast)},
+                 fast=fast)
+
+
+def render(data: Dict) -> None:
     print_series_table("Fig 7(a): overlapping eager messages over MX "
                        f"(compute = {EAGER_COMPUTE*1e6:.0f} us)",
                        data["eager_sizes"], data["eager"],
@@ -68,6 +95,11 @@ def main(fast: bool = False) -> Dict:
                        data["rdv_sizes"], data["rdv"],
                        "us sending time", scale=1e6, fmt="8.0f")
     print("\npaper reference:", PAPER)
+
+
+def main(fast: bool = False) -> Dict:
+    data = run(fast=fast)
+    render(data)
     return data
 
 

@@ -14,19 +14,22 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro import config
+from repro.campaign.executors import execute_point
+from repro.campaign.points import Point, stack_ref
 from repro.experiments.common import print_grouped_table
-from repro.workloads.nas import adjust_procs, run_kernel
+from repro.workloads.nas import adjust_procs
+
+MODULE = "fig8_nas"
 
 KERNELS = ["bt", "cg", "ep", "ft", "sp", "mg", "lu"]
 PROC_COUNTS = [8, 16, 32, 64]
 
 #: configurations in the paper's legend order
 STACKS = [
-    ("MVAPICH2", lambda: config.mvapich2()),
-    ("Open_MPI", lambda: config.openmpi_ib()),
-    ("MPICH2-NMad_NO_PIOMan", lambda: config.mpich2_nmad()),
-    ("MPICH2-NMad_with_PIOMan", lambda: config.mpich2_nmad_pioman()),
+    ("MVAPICH2", stack_ref("mvapich2")),
+    ("Open_MPI", stack_ref("openmpi_ib")),
+    ("MPICH2-NMad_NO_PIOMan", stack_ref("mpich2_nmad")),
+    ("MPICH2-NMad_with_PIOMan", stack_ref("mpich2_nmad_pioman")),
 ]
 
 #: cases the paper reports as unavailable (deadlocks in their prototype)
@@ -37,29 +40,53 @@ def _pioman_available(kernel: str, procs: int) -> bool:
     return (kernel,) not in PIOMAN_UNAVAILABLE and (procs,) not in PIOMAN_UNAVAILABLE
 
 
-def run(fast: bool = False, cls: Optional[str] = None) -> Dict:
-    cls = cls or ("A" if fast else "C")
-    procs = [8, 16] if fast else PROC_COUNTS
+def _shape(fast: bool, cls: Optional[str]):
+    return cls or ("A" if fast else "C"), ([8, 16] if fast else PROC_COUNTS)
+
+
+def points(fast: bool = False, cls: Optional[str] = None) -> List[Point]:
+    """One NAS point per (process count, stack, kernel)."""
+    cls, procs = _shape(fast, cls)
+    pts = []
+    for p in procs:
+        for stack_name, ref in STACKS:
+            for kernel in KERNELS:
+                if (stack_name.endswith("with_PIOMan")
+                        and not _pioman_available(kernel, p)):
+                    continue
+                pts.append(Point(
+                    MODULE, f"{p}/{stack_name}/{kernel}", "nas",
+                    {"stack": ref, "kernel": kernel, "cls": cls,
+                     "procs": adjust_procs(kernel, p)}))
+    return pts
+
+
+def merge(results: Dict[str, dict], fast: bool = False,
+          cls: Optional[str] = None) -> Dict:
+    cls, procs = _shape(fast, cls)
     out: Dict[int, Dict[str, List[Optional[float]]]] = {}
     for p in procs:
         table: Dict[str, List[Optional[float]]] = {}
-        for stack_name, factory in STACKS:
+        for stack_name, _ref in STACKS:
             row: List[Optional[float]] = []
             for kernel in KERNELS:
-                pk = adjust_procs(kernel, p)
                 if (stack_name.endswith("with_PIOMan")
                         and not _pioman_available(kernel, p)):
                     row.append(None)
                     continue
-                res = run_kernel(kernel, cls, pk, factory())
-                row.append(res.time_seconds)
+                row.append(results[f"{p}/{stack_name}/{kernel}"]
+                           ["time_seconds"])
             table[stack_name] = row
         out[p] = table
     return {"class": cls, "procs": procs, "kernels": KERNELS, "tables": out}
 
 
-def main(fast: bool = False, cls: Optional[str] = None) -> Dict:
-    data = run(fast=fast, cls=cls)
+def run(fast: bool = False, cls: Optional[str] = None) -> Dict:
+    return merge({p.key: execute_point(p.config())
+                  for p in points(fast, cls=cls)}, fast=fast, cls=cls)
+
+
+def render(data: Dict) -> None:
     for p in data["procs"]:
         label = {8: "8/9", 32: "32/36"}.get(p, str(p))
         print_grouped_table(
@@ -67,6 +94,11 @@ def main(fast: bool = False, cls: Optional[str] = None) -> Dict:
             f"{label} processes",
             [k.upper() for k in data["kernels"]],
             data["tables"][p], "seconds")
+
+
+def main(fast: bool = False, cls: Optional[str] = None) -> Dict:
+    data = run(fast=fast, cls=cls)
+    render(data)
     return data
 
 

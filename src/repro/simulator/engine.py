@@ -1,30 +1,58 @@
 """The simulation event loop.
 
 Time is a ``float`` in **seconds**.  The engine keeps a binary heap of
-``(time, seq, callback)`` entries; ``seq`` is a global monotonically
+entries ordered by ``(time, seq)``; ``seq`` is a global monotonically
 increasing counter so that callbacks scheduled for the same instant run
 in FIFO order, which makes every simulation fully deterministic.
+
+Two kinds of entries coexist on the heap:
+
+* ``(time, seq, handle)`` — cancellable, created by :meth:`Simulator.at`
+  / :meth:`Simulator.schedule`, which return the
+  :class:`ScheduledCallback` handle;
+* ``(time, seq, fn, args)`` — slim non-cancellable entries created by
+  the internal :meth:`Simulator._post` fast path (event dispatch, task
+  start, timeouts).  They carry no handle object, which keeps the
+  hottest scheduling operations allocation-light.
+
+``seq`` is unique, so heap comparisons never reach the third element of
+either tuple shape.
+
+Cancellation is O(1) lazy deletion: the handle is flagged and skipped
+when popped.  Long-lived simulations that cancel many far-future timers
+(e.g. per-frame retransmission timeouts) would otherwise accumulate
+dead entries, so the engine compacts the heap in one batched pass when
+cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.simulator.errors import DeadlockError, SimulationError
 from repro.simulator.tracing import Trace
+
+#: heap entries are (time, seq, handle) or (time, seq, fn, args)
+_HeapEntry = Tuple[Any, ...]
+
+#: start compacting only past this many cancelled entries (tiny heaps
+#: are cheaper to drain lazily than to rebuild)
+_COMPACT_MIN_CANCELLED = 64
 
 
 class ScheduledCallback:
     """Handle for a callback sitting in the event heap.
 
     Supports :meth:`cancel`, which is O(1): the entry is flagged and the
-    event loop skips it when popped (lazy deletion).
+    event loop skips it when popped (lazy deletion).  The owning
+    simulator batches a compaction pass when flagged entries pile up.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "origin")
+    __slots__ = ("sim", "time", "fn", "args", "cancelled", "origin")
 
-    def __init__(self, time: float, fn: Callable, args: tuple):
+    def __init__(self, sim: "Simulator", time: float, fn: Callable, args: tuple):
+        self.sim = sim
         self.time = time
         self.fn = fn
         self.args = args
@@ -34,7 +62,14 @@ class ScheduledCallback:
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        sim._cancelled += 1
+        if (sim._cancelled >= _COMPACT_MIN_CANCELLED
+                and sim._cancelled * 2 >= len(sim._heap)):
+            sim._compact()
 
 
 class _NullRegion:
@@ -76,12 +111,14 @@ class Simulator:
     """
 
     def __init__(self, trace: Optional[Trace] = None):
-        self._heap: list[tuple[float, int, ScheduledCallback]] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._now = 0.0
+        self._cancelled = 0          # cancelled handles still on the heap
         self._running_tasks = 0
         self._failed_tasks: list = []
         self._trace: Optional[Trace] = None
+        self._trace_append: Optional[Callable[..., None]] = None
         #: truthy fast-path flag: hot call sites check this before even
         #: building the kwargs dict for :meth:`record`
         self.tracing = False
@@ -103,7 +140,13 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.at(self._now + delay, fn, *args)
+        time = self._now + delay
+        handle = ScheduledCallback(self, time, fn, args)
+        if self.monitor is not None:
+            self.monitor.on_schedule(handle)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
 
     def at(self, time: float, fn: Callable, *args: Any) -> ScheduledCallback:
         """Run ``fn(*args)`` at absolute simulated ``time``."""
@@ -111,12 +154,34 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past (now={self._now!r}, time={time!r})"
             )
-        handle = ScheduledCallback(time, fn, args)
+        handle = ScheduledCallback(self, time, fn, args)
         if self.monitor is not None:
             self.monitor.on_schedule(handle)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
         return handle
+
+    def _post(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Internal non-cancellable scheduling fast path.
+
+        Pushes a slim ``(time, seq, fn, args)`` entry — no handle
+        object.  Used by the hottest call sites (event dispatch, task
+        start, timeouts), which never cancel.  With a monitor installed
+        it falls back to :meth:`at` so happens-before edges are kept.
+        """
+        if self.monitor is not None:
+            self.at(self._now + delay, fn, *args)
+            return
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap in one batched pass."""
+        self._heap = [entry for entry in self._heap
+                      if not (type(entry[2]) is ScheduledCallback
+                              and entry[2].cancelled)]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Events & tasks (factories live here so user code needs only `sim`)
@@ -129,8 +194,10 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> "Event":
         """An event that succeeds ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
         evt = self.event()
-        self.schedule(delay, evt.succeed, value)
+        self._post(delay, evt.succeed, value)
         return evt
 
     def all_of(self, events: Iterable["Event"]) -> "Event":
@@ -154,37 +221,65 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending callback.  Returns False when empty."""
-        while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = time
-            monitor = self.monitor
-            if monitor is None:
-                handle.fn(*handle.args)
-            else:
-                monitor.before_step(handle)
-                try:
-                    handle.fn(*handle.args)
-                finally:
-                    monitor.after_step(handle)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            item = entry[2]
+            if type(item) is ScheduledCallback:
+                if item.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
+                    continue
+                self._now = entry[0]
+                monitor = self.monitor
+                if monitor is None:
+                    item.fn(*item.args)
+                else:
+                    monitor.before_step(item)
+                    try:
+                        item.fn(*item.args)
+                    finally:
+                        monitor.after_step(item)
+                return True
+            # slim non-cancellable entry: (time, seq, fn, args)
+            self._now = entry[0]
+            item(*entry[3])
             return True
         return False
 
-    def run(self, until: Optional[float] = None, detect_deadlock: bool = False) -> float:
+    def run(self, until: Optional[float] = None,
+            detect_deadlock: bool = False) -> float:
         """Run until the heap drains or ``until`` is reached.
 
         Returns the final simulation time.  With ``detect_deadlock=True``
         a :class:`DeadlockError` is raised if live tasks remain when the
         heap drains (tasks blocked on events nobody will trigger).
         """
-        while self._heap:
-            time = self._heap[0][0]
-            if until is not None and time > until:
-                self._now = until
-                self._raise_unobserved_failures()
-                return self._now
-            self.step()
+        heap = self._heap
+        if until is None and self.monitor is None:
+            # hot path: inline pop-dispatch loop, no per-event peeking
+            pop = heapq.heappop
+            while heap:
+                entry = pop(heap)
+                item = entry[2]
+                if type(item) is ScheduledCallback:
+                    if item.cancelled:
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        continue
+                    self._now = entry[0]
+                    item.fn(*item.args)
+                else:
+                    self._now = entry[0]
+                    item(*entry[3])
+        else:
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    self._raise_unobserved_failures()
+                    return self._now
+                self.step()
         self._raise_unobserved_failures()
         if detect_deadlock and self._running_tasks > 0:
             raise DeadlockError(
@@ -244,8 +339,12 @@ class Simulator:
     def trace(self, trace: Optional[Trace]) -> None:
         self._trace = trace
         self.tracing = trace is not None
+        #: bound append, so the no-trace path in :meth:`record` is a
+        #: single attribute test and the traced path skips a lookup
+        self._trace_append = trace.append if trace is not None else None
 
     def record(self, category: str, **data: Any) -> None:
         """Emit a trace record if tracing is enabled (cheap no-op otherwise)."""
-        if self._trace is not None:
-            self._trace.append(self._now, category, data)
+        append = self._trace_append
+        if append is not None:
+            append(self._now, category, data)

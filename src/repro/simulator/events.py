@@ -73,14 +73,14 @@ class Event:
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, None
         for fn in callbacks:
-            self.sim.schedule(0.0, fn, self)
+            self.sim._post(0.0, fn, self)
 
     # -- waiting -------------------------------------------------------
     def add_done_callback(self, fn: Callable[["Event"], None]) -> None:
         """Call ``fn(event)`` (via the scheduler) once the event triggers."""
         self._observed = True
         if self._callbacks is None:
-            self.sim.schedule(0.0, fn, self)
+            self.sim._post(0.0, fn, self)
         else:
             self._callbacks.append(fn)
 

@@ -40,7 +40,7 @@ class Task(Event):
         sim._running_tasks += 1
         # First resume happens through the scheduler so a freshly spawned
         # task never runs synchronously inside its creator.
-        sim.schedule(0.0, self._resume, None, None)
+        sim._post(0.0, self._resume, None, None)
 
     @property
     def is_alive(self) -> bool:

@@ -1,0 +1,159 @@
+"""Property tests (hypothesis) for the content-addressed cache key.
+
+The contract under test:
+
+* equal point configs hash equal (the key is a pure function of the
+  canonical JSON, not of dict ordering or object identity);
+* perturbing *any* field — seed, a size, a rail bandwidth in the
+  hardware fingerprint, the source digest — changes the key;
+* a cache hit returns a result bit-identical (canonical JSON) to what
+  was stored.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import (ResultCache, campaign_key, canonical_json,
+                            hardware_fingerprint)
+from repro.campaign.points import Point
+
+MODULES = ["fig4_infiniband", "fig6_pioman_overhead", "fig8_nas"]
+KINDS = ["netpipe", "overlap", "nas", "stencil"]
+
+scalars = st.one_of(
+    st.integers(min_value=-(10 ** 6), max_value=10 ** 6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=16),
+    st.booleans(),
+)
+params_st = st.dictionaries(st.text(min_size=1, max_size=12), scalars,
+                            max_size=6)
+points_st = st.builds(
+    Point,
+    module=st.sampled_from(MODULES),
+    key=st.text(min_size=1, max_size=24),
+    kind=st.sampled_from(KINDS),
+    params=params_st,
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+
+#: fixed digests so the property tests don't depend on the live tree
+CODE = "0" * 64
+HW = {"hw.nic": {"bandwidth": 1.25e9, "latency": 1.3e-6},
+      "costs.X": {"gap": 0.4e-6}}
+
+
+@given(points_st)
+@settings(max_examples=100, deadline=None)
+def test_equal_configs_hash_equal(point: Point) -> None:
+    cfg = point.config()
+    clone = copy.deepcopy(cfg)
+    # dict insertion order must not matter either
+    reordered = dict(reversed(list(clone.items())))
+    assert campaign_key(cfg, hw=HW, code_digest=CODE) \
+        == campaign_key(clone, hw=HW, code_digest=CODE) \
+        == campaign_key(reordered, hw=HW, code_digest=CODE)
+
+
+@given(points_st, st.integers(min_value=1, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_seed_perturbation_changes_key(point: Point, bump: int) -> None:
+    cfg = point.config()
+    other = dict(cfg, seed=cfg["seed"] + bump)
+    assert campaign_key(cfg, hw=HW, code_digest=CODE) \
+        != campaign_key(other, hw=HW, code_digest=CODE)
+
+
+@given(points_st, st.sampled_from(["module", "key", "kind"]))
+@settings(max_examples=100, deadline=None)
+def test_field_perturbation_changes_key(point: Point, field: str) -> None:
+    cfg = point.config()
+    other = dict(cfg, **{field: cfg[field] + "'"})
+    assert campaign_key(cfg, hw=HW, code_digest=CODE) \
+        != campaign_key(other, hw=HW, code_digest=CODE)
+
+
+@given(points_st, st.text(min_size=1, max_size=12), scalars)
+@settings(max_examples=100, deadline=None)
+def test_param_perturbation_changes_key(point: Point, name: str,
+                                        value: Any) -> None:
+    cfg = point.config()
+    other = dict(cfg, params=dict(cfg["params"], **{name: value}))
+    same = canonical_json(other) == canonical_json(cfg)
+    keys_equal = (campaign_key(cfg, hw=HW, code_digest=CODE)
+                  == campaign_key(other, hw=HW, code_digest=CODE))
+    assert keys_equal == same
+
+
+def _numeric_leaves(obj: Any, prefix: Tuple[Any, ...] = ()) \
+        -> List[Tuple[Any, ...]]:
+    out = []
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            out.extend(_numeric_leaves(v, prefix + (k,)))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            out.extend(_numeric_leaves(v, prefix + (i,)))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out.append(prefix)
+    return out
+
+
+@given(points_st, st.data())
+@settings(max_examples=50, deadline=None)
+def test_hardware_perturbation_changes_key(point: Point, data) -> None:
+    """Bumping any numeric hardware constant (e.g. a rail bandwidth)
+    must move every key computed against that fingerprint."""
+    fp = hardware_fingerprint()
+    leaves = _numeric_leaves(fp)
+    assert leaves, "hardware fingerprint has no numeric constants?"
+    path = data.draw(st.sampled_from(leaves), label="leaf")
+    perturbed = copy.deepcopy(fp)
+    cur = perturbed
+    for step in path[:-1]:
+        cur = cur[step]
+    cur[path[-1]] = cur[path[-1]] + 1
+    cfg = point.config()
+    assert campaign_key(cfg, hw=fp, code_digest=CODE) \
+        != campaign_key(cfg, hw=perturbed, code_digest=CODE)
+
+
+@given(points_st)
+@settings(max_examples=50, deadline=None)
+def test_code_digest_changes_key(point: Point) -> None:
+    cfg = point.config()
+    assert campaign_key(cfg, hw=HW, code_digest=CODE) \
+        != campaign_key(cfg, hw=HW, code_digest="1" * 64)
+
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(),
+              st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=16)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=12)
+
+
+@given(points_st, json_values)
+@settings(max_examples=50, deadline=None)
+def test_cache_roundtrip_is_bit_identical(point: Point, result: Any) -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        cfg = point.config()
+        key = campaign_key(cfg, hw=HW, code_digest=CODE)
+        assert cache.get(key) is None
+        cache.put(key, cfg, result, 0.25)
+        hit = cache.get(key)
+        assert hit is not None
+        got, elapsed = hit
+        assert canonical_json(got) == canonical_json(result)
+        assert elapsed == 0.25

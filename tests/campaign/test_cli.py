@@ -1,0 +1,44 @@
+"""The ``repro campaign`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_campaign_cli_cold_then_warm(tmp_path, capsys) -> None:
+    cache_dir = str(tmp_path / "cache")
+    report_path = str(tmp_path / "report.json")
+    rc = main(["campaign", "ext_stencil_overlap", "--fast", "--quiet",
+               "--workers", "2", "--cache-dir", cache_dir,
+               "--report", report_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 hit(s)" in out and "miss(es)" in out
+
+    with open(report_path) as fh:
+        report = json.load(fh)
+    assert report["stats"]["cache_misses"] == report["stats"]["points"] > 0
+    assert "ext_stencil_overlap" in report["modules"]
+
+    rc = main(["campaign", "ext_stencil_overlap", "--fast", "--quiet",
+               "--cache-dir", cache_dir])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[fully cached]" in out
+
+
+def test_campaign_cli_renders_tables(tmp_path, capsys) -> None:
+    rc = main(["campaign", "ext_stencil_overlap", "--fast", "--no-cache"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "stencil halo exchange" in out
+    assert "campaign:" in out
+
+
+def test_campaign_cli_rejects_unknown_module() -> None:
+    with pytest.raises(SystemExit):
+        main(["campaign", "not_a_module", "--fast", "--no-cache"])
