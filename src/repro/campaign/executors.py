@@ -82,11 +82,25 @@ def _exec_stencil(params: Dict[str, Any]) -> Dict[str, Any]:
     return {"time_seconds": res.time_seconds, "per_iter": res.per_iter}
 
 
+def _exec_coll(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.workloads.collbench import run_collbench
+
+    spec = build_stack(params["stack"])
+    res = run_collbench(spec, params["nprocs"], params["collective"],
+                        params["size"],
+                        algorithm=params.get("algorithm"),
+                        reps=params.get("reps", 5),
+                        warmup=params.get("warmup", 2))
+    return {"per_op": res.per_op, "algorithm": res.algorithm,
+            "elapsed": res.elapsed}
+
+
 _EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "netpipe": _exec_netpipe,
     "overlap": _exec_overlap,
     "nas": _exec_nas,
     "stencil": _exec_stencil,
+    "coll": _exec_coll,
 }
 
 

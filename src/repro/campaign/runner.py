@@ -37,6 +37,7 @@ from repro.observability.metrics import MetricsRegistry
 ALL_MODULES: Tuple[str, ...] = tuple(EXPERIMENTS) + (
     "ext_is_datatypes",
     "ext_stencil_overlap",
+    "ext_collectives",
 )
 
 

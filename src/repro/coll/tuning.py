@@ -1,0 +1,259 @@
+"""The ``repro coll-tune`` autotuner.
+
+Sweeps every registered algorithm of every multi-algorithm collective
+over a (p x size) grid, one campaign point per cell, through the same
+content-addressed :class:`~repro.campaign.cache.ResultCache` and
+process-pool machinery as ``repro campaign`` — so a rerun is free and a
+tuning sweep shares cells with the ``ext_collectives`` experiment.
+The per-cell winners (lowest ``per_op``; ties break by registration
+order) are folded into a banded :class:`~repro.coll.selector.
+SelectionTable`: measured process counts and sizes become half-open
+bands, adjacent same-winner size bands merge, and a final catch-all
+repeats the largest-cell winner so the table always resolves.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.cache import ResultCache, campaign_key
+from repro.campaign.executors import execute_point
+from repro.campaign.points import Point, stack_ref
+from repro.coll import registry
+from repro.coll.selector import Rule, SelectionTable
+from repro.experiments.common import host_clock
+
+MODULE = "coll_tune"
+
+#: default tuning grid (powers of two straddle the expected crossovers)
+DEFAULT_PROCS: Tuple[int, ...] = (4, 8, 16)
+DEFAULT_SIZES: Tuple[int, ...] = (64, 1024, 16384, 262144, 2097152)
+FAST_PROCS: Tuple[int, ...] = (4,)
+FAST_SIZES: Tuple[int, ...] = (1024, 262144)
+
+
+def tunable_collectives() -> List[str]:
+    """Collectives worth tuning (more than one registered algorithm)."""
+    return [c for c in registry.COLLECTIVES if len(registry.names_of(c)) > 1]
+
+
+def tune_points(stack_preset: str = "mpich2_nmad",
+                procs: Sequence[int] = DEFAULT_PROCS,
+                sizes: Sequence[int] = DEFAULT_SIZES,
+                reps: int = 3, warmup: int = 1,
+                collectives: Optional[Sequence[str]] = None) -> List[Point]:
+    """The (collective x algorithm x p x size) measurement grid.
+
+    Barrier has no payload: it gets one size-0 cell per (algorithm, p).
+    """
+    colls = list(collectives) if collectives else tunable_collectives()
+    ref = stack_ref(stack_preset)
+    pts: List[Point] = []
+    for coll in colls:
+        names = registry.names_of(coll)
+        if len(names) < 2:
+            raise ValueError(f"collective {coll!r} has "
+                             f"{len(names)} algorithm(s); nothing to tune")
+        cell_sizes = [0] if coll == "barrier" else list(sizes)
+        for algo in names:
+            for p in procs:
+                for size in cell_sizes:
+                    pts.append(Point(
+                        MODULE, f"{coll}/{algo}/p{p}/{size}", "coll",
+                        {"stack": ref, "nprocs": p, "collective": coll,
+                         "algorithm": algo, "size": size,
+                         "reps": reps, "warmup": warmup}))
+    return pts
+
+
+def pick_winners(measurements: Dict[str, Dict[str, Any]]) -> Dict[str, str]:
+    """Per-cell argmin: ``{"coll/p{p}/{size}": algorithm}``.
+
+    Ties break toward the earlier-registered algorithm, so a tuned
+    table never flaps between cost-identical implementations.
+    """
+    cells: Dict[Tuple[str, int, int], List[Tuple[float, int, str]]] = {}
+    for key, result in measurements.items():
+        coll, algo, ptag, stag = key.split("/")
+        p, size = int(ptag[1:]), int(stag)
+        order = registry.names_of(coll).index(algo)
+        cells.setdefault((coll, p, size), []).append(
+            (float(result["per_op"]), order, algo))
+    return {f"{coll}/p{p}/{size}": min(entries)[2]
+            for (coll, p, size), entries in sorted(cells.items())}
+
+
+def _bands(values: Sequence[int]) -> List[Tuple[int, int, Optional[int]]]:
+    """(measured value, inclusive lower bound, exclusive upper) bands."""
+    ordered = sorted(set(values))
+    out = []
+    for i, v in enumerate(ordered):
+        lo = 0 if i == 0 else v
+        hi = ordered[i + 1] if i + 1 < len(ordered) else None
+        out.append((v, lo, hi))
+    return out
+
+
+def build_table(winners: Dict[str, str], procs: Sequence[int],
+                sizes: Sequence[int],
+                origin: str = "coll-tune") -> SelectionTable:
+    """Fold per-cell winners into a banded first-match selection table.
+
+    Unmeasured collectives keep their default rules, so a partial sweep
+    still yields a complete (valid) table.
+    """
+    from repro.coll.selector import default_table
+
+    measured = {key.split("/")[0] for key in winners}
+    rules: Dict[str, Tuple[Rule, ...]] = dict(default_table().rules)
+    for coll in sorted(measured):
+        coll_rules: List[Rule] = []
+        cell_sizes = [0] if coll == "barrier" else list(sizes)
+        last_winner = None
+        for p, plo, phi in _bands(procs):
+            # merge adjacent same-winner size bands inside this p band
+            band_rules: List[Rule] = []
+            for s, slo, shi in _bands(cell_sizes):
+                win = winners[f"{coll}/p{p}/{s}"]
+                if band_rules and band_rules[-1].algorithm == win:
+                    band_rules[-1] = Rule(
+                        win, min_size=band_rules[-1].min_size,
+                        max_size=shi, min_p=max(plo, 1), max_p=phi)
+                else:
+                    band_rules.append(Rule(win, min_size=slo, max_size=shi,
+                                           min_p=max(plo, 1), max_p=phi))
+                last_winner = win
+            coll_rules.extend(band_rules)
+        # the largest-cell winner backstops anything off the grid
+        # (skip when the last band rule is already a catch-all)
+        last = coll_rules[-1]
+        if (last.min_size or last.max_size is not None or last.min_p != 1
+                or last.max_p is not None or last.pow2 is not None):
+            coll_rules.append(Rule(last_winner))
+        rules[coll] = tuple(coll_rules)
+    table = SelectionTable(rules=rules, origin=origin)
+    table.validate()
+    return table
+
+
+@dataclass
+class TuneReport:
+    """Everything one tuning sweep produced."""
+
+    table: SelectionTable
+    winners: Dict[str, str]
+    measurements: Dict[str, Dict[str, Any]]
+    points: int
+    cache_hits: int
+    cache_misses: int
+    wall_seconds: float
+    stack: str
+    procs: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+    changed: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "table": self.table.to_json(),
+            "winners": self.winners,
+            "measurements": self.measurements,
+            "stats": {"points": self.points, "cache_hits": self.cache_hits,
+                      "cache_misses": self.cache_misses,
+                      "wall_seconds": self.wall_seconds},
+            "stack": self.stack,
+            "procs": list(self.procs),
+            "sizes": list(self.sizes),
+            "changed": self.changed,
+        }
+
+    def format_summary(self) -> str:
+        lines = [
+            f"coll-tune: {self.points} cells on {self.stack} "
+            f"(p in {list(self.procs)}, sizes {list(self.sizes)})",
+            f"  cache: {self.cache_hits} hit(s), "
+            f"{self.cache_misses} miss(es)",
+            f"  wall time: {self.wall_seconds:.1f}s",
+            "  winners:",
+        ]
+        for key, algo in self.winners.items():
+            lines.append(f"    {key:32s} -> {algo}")
+        if self.changed:
+            lines.append("  default-table cells overturned: "
+                         + ", ".join(self.changed))
+        else:
+            lines.append("  tuned table agrees with the default table")
+        return "\n".join(lines)
+
+
+def _timed_execute(point_config: Dict[str, Any]) -> Tuple[Dict[str, Any],
+                                                          float]:
+    """Top-level (picklable) worker: execute one cell, time it."""
+    t0 = host_clock()
+    result = execute_point(point_config)
+    return result, host_clock() - t0
+
+
+def tune(stack_preset: str = "mpich2_nmad",
+         procs: Optional[Sequence[int]] = None,
+         sizes: Optional[Sequence[int]] = None,
+         reps: int = 3, warmup: int = 1,
+         collectives: Optional[Sequence[str]] = None,
+         fast: bool = False, workers: int = 1,
+         cache: Optional[ResultCache] = None,
+         force: bool = False) -> TuneReport:
+    """Run the sweep and build the tuned table (the CLI entry point).
+
+    ``fast`` shrinks the grid to one p and two sizes (CI smoke);
+    explicit ``procs``/``sizes`` override it.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    t_start = host_clock()
+    procs = tuple(procs) if procs else (FAST_PROCS if fast else DEFAULT_PROCS)
+    sizes = tuple(sizes) if sizes else (FAST_SIZES if fast else DEFAULT_SIZES)
+    pts = tune_points(stack_preset, procs, sizes, reps=reps, warmup=warmup,
+                      collectives=collectives)
+
+    measurements: Dict[str, Dict[str, Any]] = {}
+    pending: List[Tuple[Point, str]] = []
+    hits = misses = 0
+    for point in pts:
+        key = campaign_key(point.config()) if cache is not None else ""
+        cached = cache.get(key) if (cache is not None and not force) else None
+        if cached is not None:
+            measurements[point.key] = cached[0]
+            hits += 1
+        else:
+            pending.append((point, key))
+    if pending:
+        if workers == 1:
+            timed = [_timed_execute(point.config()) for point, _k in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_timed_execute, point.config())
+                           for point, _k in pending]
+                timed = [future.result() for future in futures]
+        for (point, key), (result, elapsed) in zip(pending, timed):
+            measurements[point.key] = result
+            misses += 1
+            if cache is not None:
+                cache.put(key, point.config(), result, elapsed)
+
+    winners = pick_winners(measurements)
+    table = build_table(winners, procs, sizes,
+                        origin=f"coll-tune:{stack_preset}")
+    from repro.coll.selector import default_table
+
+    defaults = default_table()
+    changed = []
+    for key, algo in winners.items():
+        coll, ptag, stag = key.split("/")
+        if defaults.choose(coll, int(ptag[1:]), int(stag)) != algo:
+            changed.append(f"{key}:{algo}")
+    return TuneReport(
+        table=table, winners=winners, measurements=measurements,
+        points=len(pts), cache_hits=hits, cache_misses=misses,
+        wall_seconds=host_clock() - t_start, stack=stack_preset,
+        procs=procs, sizes=sizes, changed=changed)

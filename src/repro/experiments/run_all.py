@@ -11,6 +11,7 @@ import sys
 
 from repro.experiments.common import host_clock
 from repro.experiments import (
+    ext_collectives,
     ext_is_datatypes,
     ext_stencil_overlap,
     fig4_infiniband,
@@ -23,7 +24,8 @@ from repro.experiments import (
 
 def main(fast: bool = False) -> None:
     modules = [fig4_infiniband, fig5_multirail, fig6_pioman_overhead,
-               fig7_overlap, fig8_nas, ext_is_datatypes, ext_stencil_overlap]
+               fig7_overlap, fig8_nas, ext_is_datatypes, ext_stencil_overlap,
+               ext_collectives]
     for mod in modules:
         t0 = host_clock()
         print("\n" + "=" * 72)

@@ -1,6 +1,6 @@
 """Collective algorithms over point-to-point primitives.
 
-Classic MPICH-style algorithms:
+Classic MPICH-style small-message algorithms live here:
 
 * barrier — dissemination (ceil(log2 p) rounds, any p);
 * bcast / reduce — binomial tree;
@@ -11,6 +11,15 @@ Classic MPICH-style algorithms:
 * scan / exscan — linear chain (inclusive/exclusive prefix);
 * reduce_scatter — reduce-to-root then scatter.
 
+The large-message counterparts (ring/Rabenseifner allreduce,
+scatter-allgather bcast, Bruck allgather/alltoall, tree barrier) live
+in :mod:`repro.coll.algorithms`.  Both sets register with
+:mod:`repro.coll.registry`, and the public entry points below for
+barrier/bcast/reduce/allreduce/allgather/alltoall are *dispatchers*:
+they pick the algorithm through :mod:`repro.coll.selector` (size/p
+cutoff table, overridable by ``selector.forced`` or a tuned table) and
+emit ``coll.begin``/``coll.end`` trace records around the run.
+
 Every collective draws a fresh tag from the communicator's collective
 sequence, so overlapping collectives in one program cannot cross-match
 (MPI programs call collectives in the same order on every rank).
@@ -20,6 +29,9 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.coll import registry as _registry
+from repro.coll import selector as _selector
+
 
 def _default_op(a: Any, b: Any) -> Any:
     if a is None or b is None:
@@ -27,7 +39,84 @@ def _default_op(a: Any, b: Any) -> Any:
     return a + b
 
 
+# ----------------------------------------------------------------------
+# selector dispatch
+# ----------------------------------------------------------------------
+
+def _dispatch(comm, collective: str, size: int, payload: Any, args: tuple):
+    """Resolve the algorithm for this call and run it, traced.
+
+    ``payload`` is only consulted for segmented algorithms (must be
+    None or a list there); selection itself depends on (p, size) alone,
+    so it is identical on every rank.
+    """
+    algo = _selector.resolve(collective, comm.size, size, payload)
+    sim = comm.sim
+    if not sim.tracing:
+        result = yield from algo.fn(comm, *args)
+        return result
+    sim.record("coll.begin", coll=collective, algo=algo.name,
+               rank=comm.rank, p=comm.size, size=size)
+    t0 = sim.now
+    result = yield from algo.fn(comm, *args)
+    sim.record("coll.end", coll=collective, algo=algo.name,
+               rank=comm.rank, p=comm.size, size=size, dur=sim.now - t0)
+    return result
+
+
 def barrier(comm):
+    """Barrier, dispatched (dissemination or tree)."""
+    yield from _dispatch(comm, "barrier", 0, None, ())
+
+
+def bcast(comm, size: int, data: Any = None, root: int = 0):
+    """Broadcast, dispatched (binomial or scatter-allgather).
+
+    Selection ignores the payload (it differs between root and
+    non-roots); every registered bcast algorithm accepts any payload.
+    """
+    result = yield from _dispatch(comm, "bcast", size, None,
+                                  (size, data, root))
+    return result
+
+
+def reduce(comm, size: int, value: Any = None, root: int = 0, op=None):
+    """Reduction to root, dispatched (binomial)."""
+    result = yield from _dispatch(comm, "reduce", size, None,
+                                  (size, value, root, op))
+    return result
+
+
+def allreduce(comm, size: int, value: Any = None, op=None):
+    """Allreduce, dispatched (recursive doubling, ring, Rabenseifner)."""
+    result = yield from _dispatch(comm, "allreduce", size, value,
+                                  (size, value, op))
+    return result
+
+
+def allgather(comm, size: int, value: Any = None):
+    """Allgather, dispatched (ring or Bruck)."""
+    result = yield from _dispatch(comm, "allgather", size, None,
+                                  (size, value))
+    return result
+
+
+def alltoall(comm, size: int, values: Optional[list] = None):
+    """All-to-all, dispatched (pairwise or Bruck).
+
+    ``size`` is the per-pair message size (each rank sends ``size``
+    bytes to every other rank).
+    """
+    result = yield from _dispatch(comm, "alltoall", size, None,
+                                  (size, values))
+    return result
+
+
+# ----------------------------------------------------------------------
+# classic algorithm implementations
+# ----------------------------------------------------------------------
+
+def barrier_dissemination(comm):
     """Dissemination barrier."""
     tag = comm._next_coll_tag("barrier")
     p, r = comm.size, comm.rank
@@ -41,7 +130,7 @@ def barrier(comm):
         k *= 2
 
 
-def bcast(comm, size: int, data: Any = None, root: int = 0):
+def bcast_binomial(comm, size: int, data: Any = None, root: int = 0):
     """Binomial-tree broadcast; returns the broadcast data."""
     tag = comm._next_coll_tag("bcast")
     p = comm.size
@@ -65,7 +154,8 @@ def bcast(comm, size: int, data: Any = None, root: int = 0):
     return data
 
 
-def reduce(comm, size: int, value: Any = None, root: int = 0, op=None):
+def reduce_binomial(comm, size: int, value: Any = None, root: int = 0,
+                    op=None):
     """Binomial-tree reduction; the root returns the combined value."""
     tag = comm._next_coll_tag("reduce")
     op = op or _default_op
@@ -89,7 +179,7 @@ def reduce(comm, size: int, value: Any = None, root: int = 0, op=None):
     return acc
 
 
-def allreduce(comm, size: int, value: Any = None, op=None):
+def allreduce_recursive_doubling(comm, size: int, value: Any = None, op=None):
     """Recursive doubling when p is a power of two, else reduce+bcast."""
     tag = comm._next_coll_tag("allreduce")
     op = op or _default_op
@@ -106,8 +196,10 @@ def allreduce(comm, size: int, value: Any = None, op=None):
             acc = op(acc, msg.data)
             mask *= 2
         return acc
-    acc = yield from reduce(comm, size, value, root=0, op=op)
-    acc = yield from bcast(comm, size, acc, root=0)
+    # non-power-of-two: binomial reduce + binomial bcast (direct calls —
+    # the composition is part of this algorithm, not a re-dispatch)
+    acc = yield from reduce_binomial(comm, size, value, root=0, op=op)
+    acc = yield from bcast_binomial(comm, size, acc, root=0)
     return acc
 
 
@@ -153,7 +245,7 @@ def scatter(comm, size: int, values: Optional[list] = None, root: int = 0):
     return msg.data
 
 
-def allgather(comm, size: int, value: Any = None):
+def allgather_ring(comm, size: int, value: Any = None):
     """Ring allgather; returns the list indexed by rank."""
     tag = comm._next_coll_tag("allgather")
     p, r = comm.size, comm.rank
@@ -171,12 +263,8 @@ def allgather(comm, size: int, value: Any = None):
     return out
 
 
-def alltoall(comm, size: int, values: Optional[list] = None):
-    """Pairwise-exchange all-to-all; returns the list indexed by source.
-
-    ``size`` is the per-pair message size (each rank sends ``size``
-    bytes to every other rank).
-    """
+def alltoall_pairwise(comm, size: int, values: Optional[list] = None):
+    """Pairwise-exchange all-to-all; returns the list indexed by source."""
     tag = comm._next_coll_tag("alltoall")
     p, r = comm.size, comm.rank
     out: list = [None] * p
@@ -228,7 +316,7 @@ def reduce_scatter(comm, size: int, values: Optional[list] = None, op=None):
     each rank); rank r returns the combination of everyone's r-th entry.
     """
     op = op or _default_op
-    combined = yield from reduce(
+    combined = yield from reduce_binomial(
         comm, size * comm.size,
         value=list(values) if values is not None else None,
         root=0,
@@ -300,3 +388,28 @@ def alltoallv(comm, sizes: Optional[list] = None,
                                        size=size, data=data)
         out[src] = msg.data
     return out
+
+
+# ----------------------------------------------------------------------
+# registration (the classic algorithms are the payload-safe fallbacks)
+# ----------------------------------------------------------------------
+
+_registry.register(
+    "barrier", "dissemination", barrier_dissemination, fallback=True,
+    summary="ceil(log2 p) rounds of p simultaneous pairwise signals")
+_registry.register(
+    "bcast", "binomial", bcast_binomial, fallback=True,
+    summary="log2 p tree hops of the full payload")
+_registry.register(
+    "reduce", "binomial", reduce_binomial, fallback=True,
+    summary="log2 p tree hops of the full payload")
+_registry.register(
+    "allreduce", "recursive_doubling", allreduce_recursive_doubling,
+    fallback=True,
+    summary="log2 p exchanges of the full payload (reduce+bcast non-pow2)")
+_registry.register(
+    "allgather", "ring", allgather_ring, fallback=True,
+    summary="p-1 neighbour steps of one contribution each")
+_registry.register(
+    "alltoall", "pairwise", alltoall_pairwise, fallback=True,
+    summary="p-1 pairwise exchanges of the full per-pair payload")

@@ -31,6 +31,7 @@ from repro.observability.perfetto import to_perfetto, write_perfetto
 from repro.observability.taxonomy import (
     ALL_LAYERS,
     CATEGORIES,
+    COLL_LAYERS,
     FAULT_LAYERS,
     LAYERS,
     layer_of,
@@ -52,6 +53,7 @@ __all__ = [
     "write_perfetto",
     "ALL_LAYERS",
     "CATEGORIES",
+    "COLL_LAYERS",
     "FAULT_LAYERS",
     "LAYERS",
     "layer_of",

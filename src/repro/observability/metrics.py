@@ -170,6 +170,8 @@ class TraceMetrics:
     * ``mpich2.sends[path]`` / ``mpich2.recv_posts``
     * ``mpich2.anysource_scans`` / ``mpich2.anysource_hits``
     * ``mpich2.cell_copy_bytes`` / ``mpich2.shm_messages``
+    * ``coll.calls[coll/algo]`` — per-rank dispatched-collective count
+    * ``coll.time[coll/algo]`` — rank-local seconds inside the algorithm
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -260,6 +262,13 @@ class TraceMetrics:
     def _on_shm_send(self, rec: TraceRecord) -> None:
         self.registry.counter("mpich2.shm_messages").inc()
 
+    # -- collective dispatch ----------------------------------------------
+    def _on_coll_end(self, rec: TraceRecord) -> None:
+        label = f"{rec.data.get('coll', '?')}/{rec.data.get('algo', '?')}"
+        self.registry.counter("coll.calls", label).inc()
+        self.registry.histogram("coll.time", label).observe(
+            rec.data.get("dur", 0.0))
+
     # -- fault / reliability ---------------------------------------------
     def _on_fault_drop(self, rec: TraceRecord) -> None:
         r = self.registry
@@ -325,6 +334,7 @@ class TraceMetrics:
         "mpich2.anysource_scan": _on_as_scan,
         "mpich2.cell_copy": _on_cell_copy,
         "mpich2.shm_send": _on_shm_send,
+        "coll.end": _on_coll_end,
         "fault.drop": _on_fault_drop,
         "fault.corrupt": _on_fault_corrupt,
         "fault.stall": _on_fault_stall,

@@ -23,8 +23,11 @@ LAYERS: Tuple[str, ...] = ("nic", "nmad", "strategy", "pioman", "mpich2")
 #: adversity layers: the fault injector and the reliability machinery
 FAULT_LAYERS: Tuple[str, ...] = ("fault", "reliab")
 
+#: collective-dispatch layer (only emits when a program runs collectives)
+COLL_LAYERS: Tuple[str, ...] = ("coll",)
+
 #: every documented layer, in track order
-ALL_LAYERS: Tuple[str, ...] = LAYERS + FAULT_LAYERS
+ALL_LAYERS: Tuple[str, ...] = LAYERS + COLL_LAYERS + FAULT_LAYERS
 
 #: category -> one-line description.  Common data keys: ``src``/``dst``
 #: (ranks), ``tag``, ``seq``, ``size`` (payload bytes), ``rdv``
@@ -78,6 +81,11 @@ CATEGORIES: Dict[str, str] = {
                              "(hit = a matching message was buffered)",
     "mpich2.shm_send": "message copied into the shared-memory queue cells",
     "mpich2.shm_recv": "message copied out of the shared-memory queue cells",
+    # -- collective dispatch (repro.coll selector) ---------------------
+    "coll.begin": "a dispatched collective entered on one rank "
+                  "(coll = collective, algo = selected algorithm, p, size)",
+    "coll.end": "the dispatched collective returned on that rank "
+                "(dur = rank-local seconds inside the algorithm)",
     # -- fault injection (repro.faults) --------------------------------
     "fault.drop": "frame lost on the wire (reason = random|outage)",
     "fault.corrupt": "frame delivered corrupt; discarded at the NIC CRC",

@@ -1,0 +1,283 @@
+"""Differential collective harness: every algorithm == linear reference.
+
+Each registered algorithm variant of each collective is forced (via
+``selector.forced``) and executed over the simulated stack with real
+data payloads; every rank's result is compared *exactly* against a
+naive pure-Python linear reference executor.
+
+Segmented algorithms (ring/Rabenseifner allreduce) carry the MPI
+built-in-op contract: the reduction op must be elementwise and
+commutative, so the harness reduces integer vectors with elementwise
+ops — exact under any association order, making byte-exact comparison
+against the linear fold legitimate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import config
+from repro.coll import registry, selector
+from repro.runtime import run_mpi
+
+import repro.mpi.collectives  # noqa: F401  (registers classic algorithms)
+
+#: acceptance grid — non-power-of-two counts included deliberately
+PROCS = [2, 3, 4, 5, 8, 16]
+
+#: elementwise commutative ops (the segmented-algorithm contract)
+OPS = {
+    "sum": lambda a, b: [x + y for x, y in zip(a, b)],
+    "max": lambda a, b: [max(x, y) for x, y in zip(a, b)],
+    "min": lambda a, b: [min(x, y) for x, y in zip(a, b)],
+}
+
+
+def run_coll(program, p):
+    return run_mpi(program, p, config.mpich2_nmad(),
+                   cluster=config.ClusterSpec(n_nodes=p))
+
+
+def vectors(p, n, seed):
+    """One integer vector of ``n`` elements per rank, deterministic."""
+    rng = random.Random(seed)
+    return [[rng.randrange(-50, 50) for _ in range(n)] for _ in range(p)]
+
+
+def ref_fold(vecs, op):
+    """The linear reference reduction: op applied in rank order."""
+    acc = vecs[0]
+    for v in vecs[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# per-collective differential drivers
+# ---------------------------------------------------------------------------
+
+def check_allreduce(algo, p, n, op_name, seed=0):
+    inputs = vectors(p, n, seed)
+    op = OPS[op_name]
+
+    def program(comm):
+        out = yield from comm.allreduce(max(8 * n, 1),
+                                        value=list(inputs[comm.rank]), op=op)
+        return out
+
+    with selector.forced("allreduce", algo):
+        r = run_coll(program, p)
+    expect = ref_fold(inputs, op)
+    assert r.rank_results == [expect] * p, (algo, p, n, op_name)
+
+
+def check_bcast(algo, p, n, root, seed=0):
+    payload = vectors(1, n, seed)[0]
+
+    def program(comm):
+        data = list(payload) if comm.rank == root else None
+        out = yield from comm.bcast(max(8 * n, 1), data=data, root=root)
+        return out
+
+    with selector.forced("bcast", algo):
+        r = run_coll(program, p)
+    assert r.rank_results == [payload] * p, (algo, p, n, root)
+
+
+def check_bcast_opaque(algo, p, root):
+    """Non-list payloads must survive every bcast algorithm verbatim."""
+    payload = {"tensor": "weights", "epoch": 7}
+
+    def program(comm):
+        data = payload if comm.rank == root else None
+        out = yield from comm.bcast(4096, data=data, root=root)
+        return out
+
+    with selector.forced("bcast", algo):
+        r = run_coll(program, p)
+    assert r.rank_results == [payload] * p, (algo, p, root)
+
+
+def check_reduce(algo, p, n, root, op_name, seed=0):
+    inputs = vectors(p, n, seed)
+    op = OPS[op_name]
+
+    def program(comm):
+        out = yield from comm.reduce(max(8 * n, 1),
+                                     value=list(inputs[comm.rank]),
+                                     root=root, op=op)
+        return out
+
+    with selector.forced("reduce", algo):
+        r = run_coll(program, p)
+    expect = ref_fold(inputs, op)
+    for rank, got in enumerate(r.rank_results):
+        if rank == root:
+            assert got == expect, (algo, p, n, root, op_name)
+        else:
+            assert got is None
+
+
+def check_allgather(algo, p, seed=0):
+    inputs = [("rank", r, seed) for r in range(p)]
+
+    def program(comm):
+        out = yield from comm.allgather(64, value=inputs[comm.rank])
+        return out
+
+    with selector.forced("allgather", algo):
+        r = run_coll(program, p)
+    assert r.rank_results == [inputs] * p, (algo, p)
+
+
+def check_alltoall(algo, p, seed=0):
+    rng = random.Random(seed)
+    matrix = [[rng.randrange(1000) for _ in range(p)] for _ in range(p)]
+    expect = [[matrix[src][dst] for src in range(p)] for dst in range(p)]
+
+    def program(comm):
+        out = yield from comm.alltoall(64, values=list(matrix[comm.rank]))
+        return out
+
+    with selector.forced("alltoall", algo):
+        r = run_coll(program, p)
+    for rank, got in enumerate(r.rank_results):
+        assert got == expect[rank], (algo, p, rank)
+
+
+def check_barrier(algo, p):
+    """Every barrier algorithm must hold ranks until the last arrival."""
+
+    def program(comm):
+        yield from comm.compute((comm.rank + 1) * 10e-6)
+        yield from comm.barrier()
+        return comm.sim.now
+
+    with selector.forced("barrier", algo):
+        r = run_coll(program, p)
+    latest = p * 10e-6
+    assert all(t >= latest for t in r.rank_results), (algo, p)
+
+
+# ---------------------------------------------------------------------------
+# exhaustive acceptance grid: every variant at p in {2, 3, 4, 5, 8, 16}
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("allreduce"))
+def test_allreduce_matches_reference(algo, p):
+    check_allreduce(algo, p, n=13, op_name="sum")
+
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("bcast"))
+def test_bcast_matches_reference(algo, p):
+    check_bcast(algo, p, n=13, root=p - 1)
+
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("bcast"))
+def test_bcast_opaque_payload(algo, p):
+    check_bcast_opaque(algo, p, root=0)
+
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("reduce"))
+def test_reduce_matches_reference(algo, p):
+    check_reduce(algo, p, n=13, root=p // 2, op_name="sum")
+
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("allgather"))
+def test_allgather_matches_reference(algo, p):
+    check_allgather(algo, p)
+
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("alltoall"))
+def test_alltoall_matches_reference(algo, p):
+    check_alltoall(algo, p)
+
+
+@pytest.mark.parametrize("p", PROCS)
+@pytest.mark.parametrize("algo", registry.names_of("barrier"))
+def test_barrier_synchronizes(algo, p):
+    check_barrier(algo, p)
+
+
+@pytest.mark.parametrize("algo", registry.names_of("allreduce"))
+def test_allreduce_p1_is_identity(algo):
+    check_allreduce(algo, p=1, n=5, op_name="sum")
+
+
+@pytest.mark.parametrize("algo", registry.names_of("bcast"))
+def test_bcast_p1_is_identity(algo):
+    check_bcast(algo, p=1, n=5, root=0)
+
+
+@pytest.mark.parametrize("algo", registry.names_of("allgather"))
+def test_allgather_p1(algo):
+    check_allgather(algo, p=1)
+
+
+@pytest.mark.parametrize("algo", registry.names_of("alltoall"))
+def test_alltoall_p1(algo):
+    check_alltoall(algo, p=1)
+
+
+@pytest.mark.parametrize("algo", registry.names_of("allreduce"))
+def test_allreduce_empty_vector(algo):
+    """Zero-element vectors (size floor 1 byte) survive segmentation."""
+    check_allreduce(algo, p=5, n=0, op_name="sum")
+
+
+# ---------------------------------------------------------------------------
+# hypothesis sweep over random (p, size, root, op)
+# ---------------------------------------------------------------------------
+
+@given(p=st.sampled_from(PROCS + [1, 6, 7]),
+       n=st.integers(min_value=0, max_value=40),
+       op_name=st.sampled_from(sorted(OPS)),
+       seed=st.integers(min_value=0, max_value=2**16),
+       data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_allreduce_differential_random(p, n, op_name, seed, data):
+    algo = data.draw(st.sampled_from(registry.names_of("allreduce")))
+    check_allreduce(algo, p, n, op_name, seed=seed)
+
+
+@given(p=st.sampled_from(PROCS + [1, 6, 7]),
+       n=st.integers(min_value=0, max_value=40),
+       seed=st.integers(min_value=0, max_value=2**16),
+       data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_bcast_differential_random(p, n, seed, data):
+    algo = data.draw(st.sampled_from(registry.names_of("bcast")))
+    root = data.draw(st.integers(min_value=0, max_value=p - 1))
+    check_bcast(algo, p, n, root, seed=seed)
+
+
+@given(p=st.sampled_from(PROCS + [1, 6, 7]),
+       seed=st.integers(min_value=0, max_value=2**16),
+       data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_allgather_alltoall_differential_random(p, seed, data):
+    ag = data.draw(st.sampled_from(registry.names_of("allgather")))
+    a2a = data.draw(st.sampled_from(registry.names_of("alltoall")))
+    check_allgather(ag, p, seed=seed)
+    check_alltoall(a2a, p, seed=seed)
+
+
+@given(p=st.sampled_from(PROCS + [1, 6, 7]),
+       n=st.integers(min_value=0, max_value=30),
+       op_name=st.sampled_from(sorted(OPS)),
+       seed=st.integers(min_value=0, max_value=2**16),
+       data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_reduce_differential_random(p, n, op_name, seed, data):
+    algo = data.draw(st.sampled_from(registry.names_of("reduce")))
+    root = data.draw(st.integers(min_value=0, max_value=p - 1))
+    check_reduce(algo, p, n, root, op_name, seed=seed)

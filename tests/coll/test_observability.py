@@ -1,0 +1,89 @@
+"""Collective dispatch tracing: coll.begin/coll.end records + metrics."""
+
+from __future__ import annotations
+
+from repro import config
+from repro.coll import selector
+from repro.observability import (ALL_LAYERS, CATEGORIES, COLL_LAYERS,
+                                 layer_of)
+from repro.observability.metrics import TraceMetrics
+from repro.runtime import run_mpi
+from repro.simulator import Trace
+
+import repro.mpi.collectives  # noqa: F401  (registers classic algorithms)
+
+P = 4
+
+
+def run_traced(program, nprocs=P):
+    trace = Trace()
+    run_mpi(program, nprocs, config.mpich2_nmad(),
+            cluster=config.ClusterSpec(n_nodes=nprocs), trace=trace)
+    return trace
+
+
+def mixed_collectives(comm):
+    yield from comm.barrier()
+    yield from comm.allreduce(1024, value=[1.0] * 8)
+    yield from comm.bcast(256, data="blob" if comm.rank == 0 else None)
+    return comm.rank
+
+
+def test_coll_layer_is_documented_but_not_a_netpipe_layer():
+    assert COLL_LAYERS == ("coll",)
+    assert "coll" in ALL_LAYERS
+    for cat in ("coll.begin", "coll.end"):
+        assert cat in CATEGORIES
+        assert layer_of(cat) == "coll"
+
+
+def test_dispatch_emits_begin_end_pairs_per_rank():
+    trace = run_traced(mixed_collectives)
+    begins = trace.filter("coll.begin")
+    ends = trace.filter("coll.end")
+    # 3 collectives x P ranks, one begin and one end each
+    assert len(begins) == len(ends) == 3 * P
+    for rec in begins + ends:
+        assert rec.data["coll"] in ("barrier", "allreduce", "bcast")
+        assert rec.data["p"] == P
+        assert 0 <= rec.data["rank"] < P
+    for rec in ends:
+        assert rec.data["dur"] >= 0.0
+    # the recorded algorithm is exactly what the selector resolves
+    for rec in begins:
+        expect = selector.resolve(rec.data["coll"], P,
+                                  rec.data["size"]).name
+        assert rec.data["algo"] == expect
+
+
+def test_forced_algorithm_lands_in_the_trace():
+    def program(comm):
+        yield from comm.allreduce(64)
+        return None
+
+    with selector.forced("allreduce", "ring"):
+        trace = run_traced(program)
+    assert {rec.data["algo"] for rec in trace.filter("coll.begin")} \
+        == {"ring"}
+
+
+def test_coll_metrics_counters_and_histograms():
+    trace = Trace()
+    metrics = TraceMetrics().attach(trace)
+    run_mpi(mixed_collectives, P, config.mpich2_nmad(),
+            cluster=config.ClusterSpec(n_nodes=P), trace=trace)
+    reg = metrics.registry
+    small = selector.resolve("allreduce", P, 1024).name
+    assert reg.counter("coll.calls", f"allreduce/{small}").value == P
+    assert reg.counter("coll.calls", "bcast/binomial").value == P
+    assert reg.counter("coll.calls", "barrier/dissemination").value == P
+    hist = reg.histogram("coll.time", f"allreduce/{small}")
+    assert hist.count == P
+    assert hist.total >= 0.0
+
+
+def test_untraced_runs_emit_nothing():
+    """The fast path must not call sim.record at all when untraced."""
+    r = run_mpi(mixed_collectives, P, config.mpich2_nmad(),
+                cluster=config.ClusterSpec(n_nodes=P))
+    assert sorted(r.rank_results) == list(range(P))

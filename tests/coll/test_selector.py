@@ -1,0 +1,163 @@
+"""Selection table semantics: rules, dispatch resolution, JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coll import registry, selector
+from repro.coll.selector import Rule, SelectionTable, default_table
+
+import repro.mpi.collectives  # noqa: F401  (registers classic algorithms)
+
+
+# ---------------------------------------------------------------------------
+# Rule matching
+# ---------------------------------------------------------------------------
+
+def test_rule_bounds_are_half_open():
+    rule = Rule("ring", min_size=64, max_size=1024, min_p=4, max_p=16)
+    assert rule.matches(4, 64)
+    assert rule.matches(15, 1023)
+    assert not rule.matches(4, 1024)      # max_size exclusive
+    assert not rule.matches(16, 64)       # max_p exclusive
+    assert not rule.matches(3, 64)
+    assert not rule.matches(4, 63)
+
+
+def test_rule_pow2_restriction():
+    only_pow2 = Rule("rabenseifner", pow2=True)
+    assert only_pow2.matches(8, 0) and only_pow2.matches(1, 0)
+    assert not only_pow2.matches(6, 0)
+    only_odd = Rule("ring", pow2=False)
+    assert only_odd.matches(6, 0) and not only_odd.matches(8, 0)
+
+
+def test_rule_json_round_trip_drops_defaults():
+    rule = Rule("ring")
+    assert rule.to_json() == {"algorithm": "ring"}
+    full = Rule("ring", min_size=1, max_size=2, min_p=3, max_p=4, pow2=False)
+    assert Rule.from_json(full.to_json()) == full
+
+
+# ---------------------------------------------------------------------------
+# table choose / validate / serialization
+# ---------------------------------------------------------------------------
+
+def test_first_matching_rule_wins():
+    table = SelectionTable(rules={"allreduce": (
+        Rule("recursive_doubling", max_size=1024),
+        Rule("rabenseifner", pow2=True),
+        Rule("ring"),
+    )})
+    assert table.choose("allreduce", 8, 512) == "recursive_doubling"
+    assert table.choose("allreduce", 8, 4096) == "rabenseifner"
+    assert table.choose("allreduce", 6, 4096) == "ring"
+
+
+def test_choose_without_catch_all_raises():
+    table = SelectionTable(rules={"allreduce": (
+        Rule("recursive_doubling", max_size=1024),)})
+    with pytest.raises(LookupError):
+        table.choose("allreduce", 8, 4096)
+
+
+def test_validate_rejects_missing_catch_all():
+    table = SelectionTable(rules={"allreduce": (
+        Rule("recursive_doubling", max_size=1024),)})
+    with pytest.raises(ValueError, match="catch-all"):
+        table.validate()
+
+
+def test_validate_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown collective"):
+        SelectionTable(rules={"allsum": (Rule("ring"),)}).validate()
+    with pytest.raises(KeyError):
+        SelectionTable(rules={"allreduce": (Rule("quantum"),)}).validate()
+
+
+def test_default_table_validates_and_covers_all_collectives():
+    table = default_table()
+    table.validate()
+    assert set(table.rules) == set(registry.COLLECTIVES)
+    for coll in registry.COLLECTIVES:
+        for p in (1, 2, 3, 7, 8, 64):
+            for size in (0, 1, 8192, 32 * 1024, 10**9):
+                assert table.choose(coll, p, size) in \
+                    registry.names_of(coll)
+
+
+def test_default_table_encodes_documented_cutoffs():
+    table = default_table()
+    assert table.choose("allreduce", 8, 4096) == "recursive_doubling"
+    assert table.choose("allreduce", 8, 64 * 1024) == "rabenseifner"
+    assert table.choose("allreduce", 6, 64 * 1024) == "ring"
+    assert table.choose("bcast", 16, 4096) == "binomial"
+    assert table.choose("bcast", 16, 1 << 20) == "scatter_allgather"
+    assert table.choose("bcast", 4, 64 * 1024) == "binomial"
+
+
+def test_table_json_round_trip():
+    table = default_table()
+    again = SelectionTable.loads(table.dumps())
+    assert again.rules == table.rules
+    assert again.origin == table.origin
+    with pytest.raises(ValueError, match="version"):
+        SelectionTable.from_json({"version": 99, "rules": {}})
+
+
+def test_set_table_swaps_the_active_table():
+    tuned = SelectionTable(origin="test", rules={
+        **default_table().rules, "allgather": (Rule("bruck"),)})
+    assert selector.active_table().choose("allgather", 8, 64) == "ring"
+    try:
+        selector.set_table(tuned)
+        assert selector.active_table().choose("allgather", 8, 64) == "bruck"
+    finally:
+        selector.set_table(None)
+    assert selector.active_table().choose("allgather", 8, 64) == "ring"
+
+
+# ---------------------------------------------------------------------------
+# resolve: force > table > payload fallback
+# ---------------------------------------------------------------------------
+
+def test_resolve_follows_the_table():
+    assert selector.resolve("allreduce", 8, 64).name == "recursive_doubling"
+    assert selector.resolve("allreduce", 8, 1 << 20).name == "rabenseifner"
+
+
+def test_forced_overrides_and_restores():
+    with selector.forced("allreduce", "ring"):
+        assert selector.resolve("allreduce", 2, 1).name == "ring"
+        with selector.forced("allreduce", "rabenseifner"):
+            assert selector.resolve("allreduce", 2, 1).name == "rabenseifner"
+        # nesting restores the *outer* force, not the table
+        assert selector.resolve("allreduce", 2, 1).name == "ring"
+    assert selector.resolve("allreduce", 2, 1).name == "recursive_doubling"
+
+
+def test_forced_unknown_algorithm_fails_fast():
+    with pytest.raises(KeyError):
+        with selector.forced("allreduce", "quantum"):
+            pass
+
+
+def test_segmented_algorithm_falls_back_on_opaque_payload():
+    # rabenseifner needs a vector; a dict payload retreats to the fallback
+    assert selector.resolve("allreduce", 8, 1 << 20,
+                            payload={"x": 1}).name == "recursive_doubling"
+    assert selector.resolve("allreduce", 8, 1 << 20,
+                            payload=[1, 2]).name == "rabenseifner"
+    assert selector.resolve("allreduce", 8, 1 << 20,
+                            payload=None).name == "rabenseifner"
+    # forcing does not bypass payload compatibility either
+    with selector.forced("allreduce", "ring"):
+        assert selector.resolve("allreduce", 2, 1,
+                                payload="blob").name == "recursive_doubling"
+
+
+def test_registry_fallbacks_are_payload_agnostic():
+    for coll in registry.COLLECTIVES:
+        fb = registry.fallback_of(coll)
+        assert not fb.needs_vector
+        assert fb.name in registry.names_of(coll)
