@@ -84,27 +84,47 @@ def test_semaphore_contention_throughput(benchmark):
     benchmark(run)
 
 
-@pytest.mark.benchmark(group="simulator")
-def test_full_stack_message_rate(benchmark):
-    """End-to-end: messages/second through the complete nmad stack."""
+N_MSG = 300
+
+
+def _message_rate_program(comm):
+    """The shared 300-message workload of the full-stack benchmarks."""
+    if comm.rank == 0:
+        for i in range(N_MSG):
+            yield from comm.send(1, tag=i % 4, size=256, data=i)
+    else:
+        out = 0
+        for i in range(N_MSG):
+            yield from comm.recv(src=0, tag=i % 4)
+            out += 1
+        return out
+
+
+def _message_rate(trace=None):
     from repro import config
     from repro.runtime import run_mpi
 
-    N_MSG = 300
+    return run_mpi(_message_rate_program, 2, config.mpich2_nmad(),
+                   cluster=config.xeon_pair(), trace=trace).result(1)
 
-    def program(comm):
-        if comm.rank == 0:
-            for i in range(N_MSG):
-                yield from comm.send(1, tag=i % 4, size=256, data=i)
-        else:
-            out = 0
-            for i in range(N_MSG):
-                msg = yield from comm.recv(src=0, tag=i % 4)
-                out += 1
-            return out
 
-    def run():
-        return run_mpi(program, 2, config.mpich2_nmad(),
-                       cluster=config.xeon_pair()).result(1)
+@pytest.mark.benchmark(group="simulator")
+def test_full_stack_message_rate(benchmark):
+    """End-to-end: messages/second through the complete nmad stack."""
+    assert benchmark(_message_rate) == N_MSG
 
-    assert benchmark(run) == N_MSG
+
+@pytest.mark.benchmark(group="simulator")
+def test_full_stack_message_rate_traced(benchmark):
+    """Same workload under a full in-memory Trace: tracing overhead."""
+    from repro.simulator import Trace
+
+    assert benchmark(lambda: _message_rate(Trace())) == N_MSG
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_full_stack_message_rate_ring(benchmark):
+    """Same workload under a bounded RingTrace(1024) streaming sink."""
+    from repro.simulator import RingTrace
+
+    assert benchmark(lambda: _message_rate(RingTrace(1024))) == N_MSG

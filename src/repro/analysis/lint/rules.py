@@ -63,14 +63,15 @@ class WallClockRule(Rule):
     """RPR001: no wall-clock reads outside the audited allowlist.
 
     A single ``time.time()`` in simulation code silently couples results
-    to the host machine; host-side progress reporting must go through
-    ``repro.experiments.common.host_clock`` (the one audited call site).
+    to the host machine; host-side telemetry and progress reporting must
+    go through ``repro.simulator.hostclock.host_clock`` (the one audited
+    call site, re-exported by ``repro.experiments.common``).
     """
 
     code = "RPR001"
     name = "wall-clock"
     summary = "wall-clock read outside the audited allowlist"
-    allow_paths = ("repro/experiments/common.py",)
+    allow_paths = ("repro/simulator/hostclock.py",)
 
     _CALLS = frozenset({
         "time.time", "time.time_ns", "time.perf_counter",

@@ -149,6 +149,9 @@ class ResultCache:
 
     def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR):
         self.root = os.path.join(cache_dir, CACHE_FORMAT)
+        #: per-point run telemetry lands beside the versioned store (it
+        #: describes runs, not results, so it survives format bumps)
+        self.telemetry_path = os.path.join(cache_dir, "telemetry.jsonl")
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")

@@ -22,6 +22,8 @@ Per-point timing lands in a
 from __future__ import annotations
 
 import importlib
+import json
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -76,6 +78,8 @@ class CampaignReport:
     #: executed + cached wall seconds per module
     per_module: Dict[str, Dict[str, float]] = field(default_factory=dict)
     registry: Optional[MetricsRegistry] = None
+    #: where per-point telemetry was appended (None without a cache)
+    telemetry_path: Optional[str] = None
 
     @property
     def all_cached(self) -> bool:
@@ -197,8 +201,56 @@ def run_campaign(modules: Optional[Sequence[str]] = None,
     registry.counter("campaign.points").inc(len(plan))
     merged = {name: mod.merge(results[name], fast=fast)
               for name, mod in mods.items()}
+    wall = host_clock() - t_start
+    telemetry_path = None
+    if cache is not None:
+        point_rows = []
+        pending_elapsed = {(name, point.key): elapsed
+                           for (name, point, _k), (_r, elapsed)
+                           in zip(pending, timed)} if pending else {}
+        for name, point, key in plan:
+            hit = (name, point.key) not in pending_elapsed
+            point_rows.append({
+                "module": name, "point": str(point.key), "key": key,
+                "cached": hit,
+                "elapsed": (0.0 if hit
+                            else pending_elapsed[(name, point.key)]),
+            })
+        telemetry_path = _append_telemetry(
+            cache, run_started=t_start, wall_seconds=wall, fast=fast,
+            workers=workers, hits=hits, misses=misses, points=point_rows)
     return CampaignReport(
         modules=merged, fast=fast, workers=workers, points=len(plan),
         cache_hits=hits, cache_misses=misses,
-        wall_seconds=host_clock() - t_start,
-        per_module=per_module, registry=registry)
+        wall_seconds=wall,
+        per_module=per_module, registry=registry,
+        telemetry_path=telemetry_path)
+
+
+def _append_telemetry(cache: ResultCache, run_started: float,
+                      wall_seconds: float, fast: bool, workers: int,
+                      hits: int, misses: int,
+                      points: List[Dict[str, Any]]) -> str:
+    """Append one run's telemetry next to the content-addressed store.
+
+    One JSON line per run: a summary plus the per-point rows, so
+    ``repro perf`` can render the wall-time/hit-rate trajectory across
+    campaign runs without touching the result store itself.
+    """
+    path = cache.telemetry_path
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    entry = {
+        "run_started": run_started,
+        "wall_seconds": wall_seconds,
+        "fast": fast,
+        "workers": workers,
+        "points": len(points),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "executed_seconds": sum(p["elapsed"] for p in points),
+        "per_point": points,
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True))
+        fh.write("\n")
+    return path

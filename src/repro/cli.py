@@ -9,6 +9,11 @@ Commands
 ``stacks``        list available stack presets
 ``trace``         run a workload fully traced; export Perfetto JSON +
                   metrics summary + per-layer latency breakdown
+``profile``       sim-time span profiler: run a workload under the
+                  SpanProfiler and emit a top-N table, a folded-stack
+                  flame graph and an enriched Perfetto trace
+``perf``          render the perf-telemetry trajectory: benchmark
+                  history + campaign run telemetry across runs
 ``faults``        chaos run: a streaming workload under a named fault
                   plan, with goodput-degradation and recovery report
 ``lint``          determinism lint: AST rules RPR001.. over the package
@@ -61,6 +66,54 @@ def _stack(name: str):
     except KeyError:
         raise SystemExit(
             f"unknown stack {name!r}; available: {', '.join(sorted(_STACKS))}")
+
+
+def _make_sink(args):
+    """Build the trace sink selected by ``--sink`` (trace/profile share it).
+
+    ``full`` retains every record in memory, ``ring`` keeps a bounded
+    window (``--ring-capacity``), ``jsonl`` spills each record to disk
+    (``--jsonl``).  ``--sample`` / ``--sample-entities`` attach a
+    deterministic :class:`~repro.simulator.tracing.TraceSampler`.
+    """
+    from repro.simulator import JsonlTrace, RingTrace, Trace, TraceSampler
+
+    strides = {}
+    for item in getattr(args, "sample", None) or []:
+        name, sep, n = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"bad --sample {item!r}; "
+                             "expected LAYER_OR_CATEGORY=N")
+        try:
+            strides[name] = int(n)
+        except ValueError:
+            raise SystemExit(f"bad --sample stride {n!r}; expected an int")
+    entities = None
+    if getattr(args, "sample_entities", None):
+        entities = [int(e) for e in args.sample_entities.split(",")]
+    sampler = TraceSampler(strides=strides or None, entities=entities) \
+        if (strides or entities is not None) else None
+    if args.sink == "ring":
+        return RingTrace(args.ring_capacity, sampler=sampler)
+    if args.sink == "jsonl":
+        return JsonlTrace(args.jsonl, sampler=sampler)
+    return Trace(sampler=sampler)
+
+
+def _sink_summary(trace) -> str:
+    """One line describing what the sink kept/dropped."""
+    from repro.simulator import JsonlTrace, RingTrace
+
+    sampled = (f", {trace.sampled_out} sampled out"
+               if trace.sampled_out else "")
+    if isinstance(trace, RingTrace):
+        return (f"ring sink: {len(trace)} retained of {trace.seen} admitted "
+                f"(capacity {trace.capacity}, {trace.evicted} "
+                f"evicted{sampled})")
+    if isinstance(trace, JsonlTrace):
+        return (f"jsonl sink: {trace.seen} record(s) spilled to "
+                f"{trace.path}{sampled}")
+    return f"full sink: {trace.seen} record(s) retained{sampled}"
 
 
 def cmd_stacks(_args) -> int:
@@ -141,14 +194,14 @@ def cmd_trace(args) -> int:
     from repro.observability import (attach_metrics, format_breakdown,
                                      layer_of, message_lives, write_perfetto)
     from repro.runtime import run_mpi
-    from repro.simulator import Trace
+    from repro.simulator import JsonlTrace, load_trace_jsonl
     from repro.workloads.netpipe import pingpong
 
     if args.reps < 1:
         raise SystemExit("--reps must be >= 1")
     spec = _stack(args.stack)
     size = _parse_size(args.size)
-    trace = Trace()
+    trace = _make_sink(args)
     metrics = attach_metrics(trace)
 
     if args.workload == "netpipe":
@@ -160,20 +213,167 @@ def cmd_trace(args) -> int:
 
     result = run_mpi(program, 2, spec, cluster=config.xeon_pair(),
                      trace=trace)
+    sink_line = _sink_summary(trace)
+    partial = ""
+    if isinstance(trace, JsonlTrace):
+        # round-trip through the spill file: the reloaded trace is the
+        # full record stream, so breakdown/export work as with a full sink
+        trace.close()
+        trace = load_trace_jsonl(trace.path)
+    elif args.sink == "ring" and trace.evicted:
+        partial = (f" (ring window: oldest {trace.evicted} record(s) "
+                   "evicted, breakdown is partial)")
     write_perfetto(trace, args.out)
 
     layers = sorted({layer_of(c) for c in trace.categories_seen()})
     print(f"# {spec.name}, {args.workload}, {size} B "
           f"(done at {result.elapsed * 1e6:.1f} us)")
     print(f"{len(trace)} trace records across layers: {', '.join(layers)}")
+    print(sink_line)
     print(f"Perfetto trace written to {args.out} "
           f"(open at https://ui.perfetto.dev)")
     print()
-    print("== per-layer latency breakdown ==")
+    print(f"== per-layer latency breakdown =={partial}")
     print(format_breakdown(message_lives(trace)))
     print()
     print("== metrics ==")
     print(metrics.format_summary())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.observability import (SpanProfiler, attach_metrics,
+                                     format_engine_stats,
+                                     record_engine_metrics, write_perfetto)
+    from repro.runtime.builder import MPIRuntime
+    from repro.simulator import JsonlTrace
+
+    if args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    spec = _stack(args.stack)
+    size = _parse_size(args.size)
+    trace = _make_sink(args)
+    metrics = attach_metrics(trace)
+    prof = SpanProfiler().attach(trace)
+
+    if args.workload == "pingpong":
+        from repro.workloads.netpipe import pingpong
+        nprocs, cluster = 2, config.xeon_pair()
+        program = pingpong(size, reps=args.reps, warmup=0)
+    elif args.workload == "overlap":
+        from repro.workloads.overlap import overlap_program
+        nprocs, cluster = 2, config.xeon_pair()
+        program = overlap_program(size, compute=400e-6, reps=args.reps,
+                                  warmup=0)
+    else:  # collbench
+        from repro.workloads.collbench import BENCHABLE, collbench
+        if args.coll not in BENCHABLE:
+            raise SystemExit(f"unknown collective {args.coll!r}; "
+                             f"benchable: {', '.join(BENCHABLE)}")
+        nprocs, cluster = args.np, None   # one rank per node by default
+        program = collbench(args.coll, size, reps=args.reps, warmup=1)
+
+    runtime = MPIRuntime(nprocs, spec, cluster=cluster, trace=trace)
+    result = runtime.run(program)
+    prof.finalize(runtime.sim.now)
+    stats = record_engine_metrics(runtime.sim, metrics.registry)
+
+    folded_path = prof.write_folded(args.folded)
+    write_perfetto(trace, args.perfetto, spans=prof.all_spans())
+    if isinstance(trace, JsonlTrace):
+        trace.close()
+
+    workload = args.workload if args.workload != "collbench" \
+        else f"collbench/{args.coll} p={nprocs}"
+    print(f"# {spec.name}, {workload}, {size} B "
+          f"(done at {result.elapsed * 1e6:.1f} us)")
+    print(_sink_summary(trace))
+    print()
+    print(prof.report(args.top))
+    print()
+    print("== engine ==")
+    print(format_engine_stats(stats))
+    print()
+    print(f"folded flame graph written to {folded_path} "
+          "(flamegraph.pl / speedscope)")
+    print(f"Perfetto trace with spans written to {args.perfetto} "
+          "(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    import json
+    import os
+
+    def read_jsonl(path):
+        rows = []
+        if not os.path.exists(path):
+            return rows
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    try:
+                        rows.append(json.loads(line))
+                    except ValueError:
+                        continue   # tolerate a torn tail line
+        return rows
+
+    bench_runs = read_jsonl(args.history)
+    telemetry_path = os.path.join(args.cache_dir, "telemetry.jsonl")
+    campaign_runs = read_jsonl(telemetry_path)
+    if not bench_runs and not campaign_runs:
+        print(f"no perf telemetry found ({args.history} and "
+              f"{telemetry_path} are both absent or empty);\n"
+              "run benchmarks/check_simulator_regression.py or a cached "
+              "`repro campaign` first")
+        return 1
+
+    if bench_runs:
+        runs = bench_runs[-args.last:]
+        print(f"== benchmark guard history ({len(runs)} of "
+              f"{len(bench_runs)} run(s), {args.history}) ==")
+        print(f"{'run':>4} {'benches':>8} {'worst_ratio':>12} "
+              f"{'best_ratio':>11} {'reg':>4} {'imp':>4} {'new':>4}")
+        for i, run in enumerate(runs, len(bench_runs) - len(runs) + 1):
+            ratios = [row.get("ratio") for row in
+                      run.get("benches", {}).values()
+                      if row.get("ratio") is not None]
+            worst = f"{min(ratios):.3f}" if ratios else "n/a"
+            best = f"{max(ratios):.3f}" if ratios else "n/a"
+            print(f"{i:>4} {len(run.get('benches', {})):>8} {worst:>12} "
+                  f"{best:>11} {len(run.get('regressions', [])):>4} "
+                  f"{len(run.get('improvements', [])):>4} "
+                  f"{len(run.get('new', [])):>4}")
+        latest = runs[-1].get("benches", {})
+        if latest:
+            print()
+            print("latest per-benchmark ratios (vs baseline, >1 = faster):")
+            for name in sorted(latest):
+                row = latest[name]
+                ratio = row.get("ratio")
+                mark = "  new" if ratio is None else f"{ratio:5.3f}"
+                mean = row.get("mean")
+                mean_text = f"{mean * 1e3:8.3f} ms" if mean is not None \
+                    else "  missing"
+                print(f"  {name.split('::')[-1]:<40} "
+                      f"mean {mean_text}  {mark}")
+
+    if campaign_runs:
+        if bench_runs:
+            print()
+        runs = campaign_runs[-args.last:]
+        print(f"== campaign telemetry ({len(runs)} of {len(campaign_runs)} "
+              f"run(s), {telemetry_path}) ==")
+        print(f"{'run':>4} {'points':>7} {'hits':>6} {'misses':>7} "
+              f"{'wall_s':>8} {'executed_s':>11} {'workers':>8}")
+        for i, run in enumerate(runs, len(campaign_runs) - len(runs) + 1):
+            print(f"{i:>4} {run.get('points', 0):>7} "
+                  f"{run.get('cache_hits', 0):>6} "
+                  f"{run.get('cache_misses', 0):>7} "
+                  f"{run.get('wall_seconds', 0.0):>8.2f} "
+                  f"{run.get('executed_seconds', 0.0):>11.2f} "
+                  f"{run.get('workers', 1):>8}")
     return 0
 
 
@@ -304,6 +504,24 @@ def cmd_coll_tune(args) -> int:
     return 0
 
 
+def _add_sink_options(p: argparse.ArgumentParser) -> None:
+    """The shared trace-sink/sampling option block (trace + profile)."""
+    p.add_argument("--sink", default="full",
+                   choices=["full", "ring", "jsonl"],
+                   help="trace sink: full in-memory log, bounded ring "
+                        "buffer, or JSONL spill-to-disk")
+    p.add_argument("--ring-capacity", type=int, default=4096,
+                   help="retained records for --sink ring")
+    p.add_argument("--jsonl", default="trace_records.jsonl",
+                   help="spill path for --sink jsonl")
+    p.add_argument("--sample", action="append", metavar="LAYER_OR_CAT=N",
+                   help="admit every Nth record of a category or layer "
+                        "(repeatable; begin/end pairs are never sampled)")
+    p.add_argument("--sample-entities", default=None, metavar="IDS",
+                   help="comma list of rank/node ids to record "
+                        "(others dropped)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -354,7 +572,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reps", type=int, default=3)
     p.add_argument("--out", default="trace.json",
                    help="Perfetto JSON output path")
+    _add_sink_options(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("profile", help="sim-time span profiler: top-N "
+                                       "table, folded flame graph, "
+                                       "Perfetto spans")
+    p.add_argument("stack", nargs="?", default="mpich2_nmad",
+                   help="stack preset (see `repro stacks`)")
+    p.add_argument("workload", nargs="?", default="pingpong",
+                   choices=["pingpong", "overlap", "collbench"])
+    p.add_argument("--size", default="64K",
+                   help="message size, K/M suffixes allowed")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--np", type=int, default=8,
+                   help="process count (collbench only)")
+    p.add_argument("--coll", default="allreduce",
+                   help="collective to profile (collbench only)")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows in the top-span table")
+    p.add_argument("--folded", default="profile.folded",
+                   help="folded-stack flame graph output path")
+    p.add_argument("--perfetto", default="profile.json",
+                   help="Perfetto JSON (with span slices) output path")
+    _add_sink_options(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("perf", help="render perf-telemetry trajectories: "
+                                    "benchmark history + campaign runs")
+    p.add_argument("--history", default="benchmarks/bench_history.jsonl",
+                   help="benchmark guard history JSONL")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="campaign cache dir (telemetry.jsonl lives beside "
+                        "the store)")
+    p.add_argument("--last", type=int, default=10,
+                   help="show at most the last N runs of each trajectory")
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("faults", help="chaos run under a named fault plan")
     p.add_argument("--plan", default="drop+outage",
@@ -441,7 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped to `head`): exit quietly, and
+        # hand the interpreter a dead-end stdout so its shutdown-time
+        # flush cannot raise again
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

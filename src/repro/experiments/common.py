@@ -2,19 +2,14 @@
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Sequence
 
+# the audited wall-clock entry point lives with the engine now (the
+# simulator's own telemetry needs it too); re-exported here because
+# every experiment imports it from this module
+from repro.simulator.hostclock import host_clock
 
-def host_clock() -> float:
-    """Host wall-clock seconds, for progress reporting only.
-
-    This is the single audited wall-clock entry point in the codebase:
-    the determinism lint (RPR001) bans ``time.time`` everywhere else,
-    so nothing host-dependent can leak into simulated results.  Never
-    feed this value into a simulation.
-    """
-    return time.time()
+__all__ = ["host_clock", "human_size", "print_series_table"]
 
 
 def human_size(size: int) -> str:

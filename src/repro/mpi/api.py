@@ -99,11 +99,31 @@ class Communicator:
         req.datatype = datatype
         return req
 
+    def _op_begin(self, op: str, **extra):
+        """Open an ``mpich2.op`` span (span-profiler food); returns the
+        start time, or None when tracing is off."""
+        sim = self.sim
+        if not sim.tracing:
+            return None
+        sim.record("mpich2.op.begin", op=op, rank=self._world_rank, **extra)
+        return sim.now
+
+    def _op_end(self, op: str, started) -> None:
+        if started is not None:
+            self.sim.record("mpich2.op.end", op=op, rank=self._world_rank,
+                            dur=self.sim.now - started)
+
     def wait(self, req):
         """Block until ``req`` completes; returns a :class:`Message`.
 
         Accepts plain requests and active persistent handles.
         """
+        started = self._op_begin("wait")
+        msg = yield from self._wait_impl(req)
+        self._op_end("wait", started)
+        return msg
+
+    def _wait_impl(self, req):
         if isinstance(req, PersistentRequest):
             msg = yield from req.wait()
             return msg
@@ -145,14 +165,19 @@ class Communicator:
     def send(self, dst: int, tag: Any = 0, size: int = 0, data: Any = None,
              datatype: Datatype = CONTIGUOUS):
         """Blocking send (complete when the buffer is reusable)."""
+        started = self._op_begin("send", peer=dst, size=size)
         req = yield from self.isend(dst, tag, size, data, datatype)
         yield from self.wait(req)
+        self._op_end("send", started)
 
     def recv(self, src: Any = ANY_SOURCE, tag: Any = 0,
              datatype: Datatype = CONTIGUOUS):
         """Blocking receive; returns the :class:`Message`."""
+        started = self._op_begin(
+            "recv", peer="ANY" if src is ANY_SOURCE else src)
         req = yield from self.irecv(src, tag, datatype)
         msg = yield from self.wait(req)
+        self._op_end("recv", started)
         return msg
 
     def iprobe(self, src: Any = ANY_SOURCE, tag: Any = 0):
@@ -180,10 +205,12 @@ class Communicator:
     def sendrecv(self, dst: int, src: Any, tag: Any = 0, size: int = 0,
                  data: Any = None, recv_tag: Any = None):
         """Simultaneous send+receive (deadlock-free exchange)."""
+        started = self._op_begin("sendrecv", peer=dst, size=size)
         rreq = yield from self.irecv(src, tag if recv_tag is None else recv_tag)
         sreq = yield from self.isend(dst, tag, size, data)
         yield from self.stack.wait(sreq)
         msg = yield from self.wait(rreq)
+        self._op_end("sendrecv", started)
         return msg
 
     # ------------------------------------------------------------------

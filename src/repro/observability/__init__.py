@@ -9,7 +9,13 @@ The measurement layer of the reproduction (see ``docs/OBSERVABILITY.md``):
 * :mod:`~repro.observability.perfetto` — Chrome trace-event / Perfetto
   JSON export;
 * :mod:`~repro.observability.breakdown` — per-message critical-path
-  latency attribution across the stack layers.
+  latency attribution across the stack layers;
+* :mod:`~repro.observability.profile` — hierarchical sim-time span
+  profiler (inclusive/exclusive attribution, folded-stack flame
+  graphs, enriched Perfetto spans);
+* :mod:`~repro.observability.engineperf` — engine/process perf
+  telemetry (events/sec, heap peak, wall time, peak RSS) into the
+  metrics registry.
 """
 
 from repro.observability.breakdown import (
@@ -27,13 +33,20 @@ from repro.observability.metrics import (
     TraceMetrics,
     attach_metrics,
 )
+from repro.observability.engineperf import (
+    format_engine_stats,
+    peak_rss_kib,
+    record_engine_metrics,
+)
 from repro.observability.perfetto import to_perfetto, write_perfetto
+from repro.observability.profile import Span, SpanProfiler, profile_trace
 from repro.observability.taxonomy import (
     ALL_LAYERS,
     CATEGORIES,
     COLL_LAYERS,
     FAULT_LAYERS,
     LAYERS,
+    entity_of,
     layer_of,
 )
 
@@ -51,10 +64,17 @@ __all__ = [
     "attach_metrics",
     "to_perfetto",
     "write_perfetto",
+    "Span",
+    "SpanProfiler",
+    "profile_trace",
+    "format_engine_stats",
+    "peak_rss_kib",
+    "record_engine_metrics",
     "ALL_LAYERS",
     "CATEGORIES",
     "COLL_LAYERS",
     "FAULT_LAYERS",
     "LAYERS",
+    "entity_of",
     "layer_of",
 ]

@@ -22,17 +22,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.observability.taxonomy import ALL_LAYERS, layer_of
+from repro.observability.taxonomy import ALL_LAYERS, entity_of, layer_of
 from repro.simulator.tracing import Trace
-
-#: categories whose record's local entity is named by this data key
-#: (fallback: first of ``rank``/``dst``/``src`` present)
-_LOCAL_KEY = {
-    "nmad.send_post": "src",
-    "nmad.cts_rx": "src",
-    "mpich2.send": "src",
-    "mpich2.shm_send": "src",
-}
 
 #: (category, data key, counter name) -> emitted counter tracks
 _COUNTERS = (
@@ -52,24 +43,17 @@ def _sanitize(value: Any) -> Any:
     return repr(value)
 
 
-def _track_name(category: str, data: Dict[str, Any]) -> str:
-    """The thread-track label of one record within its layer."""
-    layer = layer_of(category)
-    if layer in ("nic", "pioman", "strategy"):
-        node = data.get("node", "?")
-        rail = data.get("rail")
-        return f"node{node} {rail}" if rail else f"node{node}"
-    key = _LOCAL_KEY.get(category)
-    if key is None:
-        for k in ("rank", "dst", "src"):
-            if k in data:
-                key = k
-                break
-    return f"rank{data.get(key, '?')}" if key else "events"
+def to_perfetto(trace: Trace,
+                spans: Optional[List[Any]] = None) -> Dict[str, Any]:
+    """Convert a trace into a Chrome trace-event JSON object.
 
-
-def to_perfetto(trace: Trace) -> Dict[str, Any]:
-    """Convert a trace into a Chrome trace-event JSON object."""
+    ``spans`` takes the output of
+    :meth:`repro.observability.profile.SpanProfiler.all_spans`: each
+    span becomes a complete slice on its entity's track in its layer's
+    process group, enriched with self-time — useful with a
+    :class:`~repro.simulator.tracing.RingTrace` sink, where the raw
+    records are a window but the profiler saw the whole run.
+    """
     events: List[Dict[str, Any]] = []
     pids: Dict[str, int] = {}
     tids: Dict[tuple, int] = {}
@@ -100,11 +84,15 @@ def to_perfetto(trace: Trace) -> Dict[str, Any]:
     for rec in trace.records:
         layer = layer_of(rec.category)
         pid = pid_of(layer)
-        tid = tid_of(pid, _track_name(rec.category, rec.data))
+        tid = tid_of(pid, entity_of(rec.category, rec.data))
         ts = rec.time * 1e6
         args = {k: _sanitize(v) for k, v in rec.data.items()}
         dur = rec.data.get("dur")
         if dur is not None and dur > 0:
+            # ``*.end`` records are emitted when the span closes with
+            # the elapsed dur: backdate the slice to its real start
+            if rec.category.endswith(".end"):
+                ts = max(0.0, (rec.time - dur) * 1e6)
             events.append({"name": rec.category, "cat": layer, "ph": "X",
                            "ts": ts, "dur": dur * 1e6,
                            "pid": pid, "tid": tid, "args": args})
@@ -118,6 +106,25 @@ def to_perfetto(trace: Trace) -> Dict[str, Any]:
                                "ts": ts, "pid": pid, "tid": 0,
                                "args": {"depth": rec.data[key]}})
 
+    for span in spans or ():
+        layer = span.layer
+        pid = pid_of(layer)
+        tid = tid_of(pid, span.entity)
+        args = {"self_us": span.exclusive * 1e6}
+        if span.truncated:
+            args["truncated"] = True
+        if span.clipped > 0:
+            args["clipped_us"] = span.clipped * 1e6
+        if span.inclusive > 0:
+            events.append({"name": span.name, "cat": layer, "ph": "X",
+                           "ts": span.start * 1e6,
+                           "dur": span.inclusive * 1e6,
+                           "pid": pid, "tid": tid, "args": args})
+        else:
+            events.append({"name": span.name, "cat": layer, "ph": "i",
+                           "ts": span.start * 1e6, "s": "t",
+                           "pid": pid, "tid": tid, "args": args})
+
     # stable ts order keeps the file loadable and diffable
     events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
     return {"traceEvents": events, "displayTimeUnit": "ns",
@@ -126,9 +133,10 @@ def to_perfetto(trace: Trace) -> Dict[str, Any]:
 
 
 def write_perfetto(trace: Trace, path: str,
-                   indent: Optional[int] = None) -> str:
+                   indent: Optional[int] = None,
+                   spans: Optional[List[Any]] = None) -> str:
     """Write the Perfetto JSON for ``trace`` to ``path``; returns it."""
-    doc = to_perfetto(trace)
+    doc = to_perfetto(trace, spans=spans)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=indent)
     return path

@@ -1,0 +1,392 @@
+"""Hierarchical sim-time span profiler over the trace stream.
+
+The :class:`SpanProfiler` subscribes to any
+:class:`~repro.simulator.tracing.Trace` sink (full, ring or JSONL —
+subscribers stream over every admitted record, so a bounded sink loses
+nothing) and folds the record stream into per-entity span trees with
+inclusive/exclusive **simulated-time** attribution:
+
+* ``*.begin`` / ``*.end`` category pairs (``coll``, ``mpich2.op``,
+  ``pioman.ltask``) open and close spans, matched LIFO per emitting
+  entity — nested calls (a collective driving sends driving waits)
+  become nested spans;
+* records carrying a ``dur`` field (``nic.tx``, ``nmad.eager_rx``,
+  ``pioman.ltask`` dispatch, ...) become closed leaf spans covering
+  the simulated work they charge.
+
+After :meth:`finalize`, spans are arranged into a containment forest
+per entity.  *Inclusive* time of a span is its extent; *exclusive*
+(self) time is the extent minus its direct children's.  Direct
+children of a node are disjoint by construction, so per tree the self
+times sum exactly to the root's inclusive time, and across the forest
+the folded-stack output sums exactly to :meth:`total_busy` — the union
+extent of all root spans, the run's total simulated busy time.
+
+Robustness corners (all surfaced as counters on the profiler):
+
+* a ``begin`` never closed by sim shutdown -> closed at the finalize
+  time and flagged ``truncated``;
+* an ``end`` with no matching open span -> counted in
+  :attr:`unmatched_ends` (recovered via its ``dur`` when it carries
+  one);
+* partially overlapping spans on one entity (two threads of a rank) ->
+  the later span is clipped to its enclosing span's extent and the
+  clipped seconds tallied in :attr:`clipped_seconds`.
+
+Outputs: :meth:`folded` (Brendan-Gregg folded stacks — feed to
+``flamegraph.pl`` or https://www.speedscope.app), :meth:`report`
+(top-N table + per-layer attribution), and :meth:`all_spans` for
+enriched Perfetto export.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.observability.taxonomy import entity_of, layer_of
+from repro.simulator.tracing import Trace, TraceRecord
+
+#: matching key of one open span: (entity, category stem, op discriminator)
+_OpenKey = Tuple[str, str, Any]
+
+
+class Span:
+    """One closed span: a named extent of simulated time on an entity."""
+
+    __slots__ = ("entity", "name", "layer", "start", "end", "raw_end",
+                 "seq", "truncated", "clipped", "children", "exclusive")
+
+    def __init__(self, entity: str, name: str, layer: str,
+                 start: float, end: float, seq: int,
+                 truncated: bool = False):
+        self.entity = entity
+        self.name = name
+        self.layer = layer
+        self.start = start
+        self.end = end
+        #: the recorded end, before any overlap clipping
+        self.raw_end = end
+        self.seq = seq
+        self.truncated = truncated
+        #: seconds cut off because the span spilled past its parent
+        self.clipped = 0.0
+        self.children: List["Span"] = []
+        #: inclusive minus direct children (set when the forest builds)
+        self.exclusive = 0.0
+
+    @property
+    def inclusive(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.entity}, "
+                f"[{self.start:.9f}, {self.end:.9f}])")
+
+
+def _span_name(stem: str, data: Dict[str, Any]) -> str:
+    """Display name of a begin/end span (always ``<layer>.<...>``)."""
+    if stem == "coll":
+        return f"coll.{data.get('coll', '?')}[{data.get('algo', '?')}]"
+    op = data.get("op")
+    if op is not None and stem.endswith(".op"):
+        return f"{stem[:-3]}.{op}"
+    if stem == "pioman.ltask":
+        # keep distinct from the "pioman.ltask" dispatch-cost leaf
+        # record that nests inside this span
+        return "pioman.ltask.run"
+    return stem
+
+
+class SpanProfiler:
+    """Folds a trace's record stream into per-entity span trees."""
+
+    def __init__(self) -> None:
+        self._open: Dict[_OpenKey, List[Tuple[float, str, str]]] = {}
+        self._spans: List[Span] = []
+        self._seq = 0
+        self._forest: Optional[Dict[str, List[Span]]] = None
+        self._attached: Optional[Trace] = None
+        #: ``*.end`` records that matched no open begin
+        self.unmatched_ends = 0
+        #: spans closed unfinished at :meth:`finalize`
+        self.truncated_spans = 0
+        #: partially overlapping spans clipped to their parent's extent
+        self.clipped_spans = 0
+        self.clipped_seconds = 0.0
+
+    # -- wiring ----------------------------------------------------------
+    def attach(self, trace: Trace) -> "SpanProfiler":
+        """Subscribe to ``trace``; records stream in as the sim runs."""
+        trace.subscribe(self.on_record)
+        self._attached = trace
+        return self
+
+    def detach(self) -> None:
+        if self._attached is not None:
+            self._attached.unsubscribe(self.on_record)
+            self._attached = None
+
+    # -- feed ------------------------------------------------------------
+    def on_record(self, rec: TraceRecord) -> None:
+        category = rec.category
+        data = rec.data
+        if category.endswith(".begin"):
+            stem = category[:-6]
+            key = (entity_of(category, data), stem, data.get("op"))
+            self._open.setdefault(key, []).append(
+                (rec.time, _span_name(stem, data), layer_of(category)))
+        elif category.endswith(".end"):
+            stem = category[:-4]
+            entity = entity_of(category, data)
+            stack = self._open.get((entity, stem, data.get("op")))
+            if stack:
+                start, name, layer = stack.pop()
+                self._close(entity, name, layer, start, rec.time)
+            else:
+                self.unmatched_ends += 1
+                dur = data.get("dur")
+                if dur:
+                    # recover the extent from the carried duration
+                    self._close(entity, _span_name(stem, data),
+                                layer_of(category), rec.time - dur, rec.time)
+        else:
+            dur = data.get("dur")
+            if dur:
+                # a leaf span covering the simulated work charged after
+                # the record (the exporter draws the same slice)
+                self._close(entity_of(category, data), category,
+                            layer_of(category), rec.time, rec.time + dur)
+
+    def _close(self, entity: str, name: str, layer: str,
+               start: float, end: float, truncated: bool = False) -> None:
+        self._seq += 1
+        if end < start:
+            end = start
+        self._spans.append(
+            Span(entity, name, layer, start, end, self._seq,
+                 truncated=truncated))
+        self._forest = None
+
+    # -- finalize & build ------------------------------------------------
+    def finalize(self, end_time: Optional[float] = None) -> None:
+        """Close every still-open span (flagged truncated) at ``end_time``.
+
+        Call once the simulation is over, passing ``sim.now``; without
+        an explicit time the latest span edge seen is used.  Idempotent
+        (later calls only close spans opened since).
+        """
+        if end_time is None:
+            end_time = max((s.end for s in self._spans), default=0.0)
+            for stack in self._open.values():
+                for start, _name, _layer in stack:
+                    if start > end_time:
+                        end_time = start
+        for (entity, _stem, _op), stack in list(self._open.items()):
+            while stack:
+                start, name, layer = stack.pop()
+                self.truncated_spans += 1
+                self._close(entity, name, layer, start,
+                            max(start, end_time), truncated=True)
+        self._open.clear()
+
+    def forest(self) -> Dict[str, List[Span]]:
+        """Entity -> root spans of its containment tree (built lazily)."""
+        if self._forest is None:
+            self._forest = self._build()
+        return self._forest
+
+    def _build(self) -> Dict[str, List[Span]]:
+        # rebuilds start from scratch: reset clip tallies so a second
+        # build (more spans closed since) never double-counts
+        self.clipped_spans = 0
+        self.clipped_seconds = 0.0
+        by_entity: Dict[str, List[Span]] = {}
+        for span in self._spans:
+            span.children = []
+            span.clipped = 0.0
+            span.end = span.raw_end
+            by_entity.setdefault(span.entity, []).append(span)
+        forest: Dict[str, List[Span]] = {}
+        for entity, spans in by_entity.items():
+            # parents sort before children: earlier start first, then
+            # wider extent, then emission order
+            spans.sort(key=lambda s: (s.start, -s.end, s.seq))
+            roots: List[Span] = []
+            stack: List[Span] = []
+            for span in spans:
+                while stack and (stack[-1].end < span.start
+                                 or (stack[-1].end <= span.start
+                                     and span.end > stack[-1].end)):
+                    stack.pop()
+                if stack:
+                    top = stack[-1]
+                    if span.end > top.end:
+                        # partial overlap (sibling threads): clip to the
+                        # enclosing extent so the tree stays consistent
+                        clipped = span.end - top.end
+                        span.clipped = clipped
+                        span.end = top.end
+                        self.clipped_spans += 1
+                        self.clipped_seconds += clipped
+                    top.children.append(span)
+                else:
+                    roots.append(span)
+                stack.append(span)
+            forest[entity] = roots
+        # exclusive = inclusive - direct children (children disjoint)
+        for roots in forest.values():
+            order: List[Span] = []
+            work = list(roots)
+            while work:
+                span = work.pop()
+                order.append(span)
+                work.extend(span.children)
+            for span in reversed(order):
+                child_sum = 0.0
+                for child in span.children:
+                    child_sum += child.inclusive
+                span.exclusive = max(0.0, span.inclusive - child_sum)
+        return forest
+
+    # -- views -----------------------------------------------------------
+    def all_spans(self) -> List[Span]:
+        """Every span, forest-built (exclusive times populated)."""
+        self.forest()
+        return list(self._spans)
+
+    def busy_of(self, entity: str) -> float:
+        """Union extent of ``entity``'s root spans (they are disjoint)."""
+        total = 0.0
+        for root in self.forest().get(entity, []):
+            total += root.inclusive
+        return total
+
+    def total_busy(self) -> float:
+        """The run's total simulated busy time across all entities."""
+        return sum(self.busy_of(entity) for entity in self.forest())
+
+    def folded(self) -> Dict[str, float]:
+        """Folded call stacks: ``entity;name;...`` -> exclusive seconds.
+
+        The values sum exactly (modulo float addition order) to
+        :meth:`total_busy` — the flame graph covers the run's busy time
+        with no double counting.
+        """
+        out: Dict[str, float] = {}
+
+        def walk(span: Span, prefix: str) -> None:
+            path = f"{prefix};{span.name}"
+            out[path] = out.get(path, 0.0) + span.exclusive
+            for child in span.children:
+                walk(child, path)
+
+        for entity, roots in sorted(self.forest().items()):
+            for root in roots:
+                walk(root, entity)
+        return out
+
+    def write_folded(self, path: str) -> str:
+        """Write folded stacks (integer nanosecond values) to ``path``.
+
+        The format is Brendan Gregg's ``stack value`` lines; render
+        with ``flamegraph.pl`` or paste into speedscope.
+        """
+        with open(path, "w") as fh:
+            for stack, seconds in sorted(self.folded().items()):
+                fh.write(f"{stack} {round(seconds * 1e9)}\n")
+        return path
+
+    def aggregate(self) -> List[Dict[str, Any]]:
+        """Per-name totals: count, inclusive and exclusive seconds.
+
+        Inclusive sums double-count same-name nesting (the classic
+        recursive-frame caveat); exclusive sums never double-count.
+        """
+        totals: Dict[str, Dict[str, Any]] = {}
+        for span in self.all_spans():
+            row = totals.get(span.name)
+            if row is None:
+                row = totals[span.name] = {
+                    "name": span.name, "layer": span.layer, "count": 0,
+                    "inclusive": 0.0, "exclusive": 0.0}
+            row["count"] += 1
+            row["inclusive"] += span.inclusive
+            row["exclusive"] += span.exclusive
+        return sorted(totals.values(),
+                      key=lambda r: (-r["inclusive"], r["name"]))
+
+    def per_layer(self) -> Dict[str, Dict[str, float]]:
+        """Layer -> inclusive/exclusive simulated seconds.
+
+        Exclusive is the layer's self time (sums to the total busy
+        time over all layers).  Inclusive counts a span only when no
+        ancestor belongs to the same layer, so a layer never
+        double-counts its own nesting.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+
+        def walk(span: Span, seen_layers: Tuple[str, ...]) -> None:
+            row = out.setdefault(span.layer,
+                                 {"inclusive": 0.0, "exclusive": 0.0})
+            row["exclusive"] += span.exclusive
+            if span.layer not in seen_layers:
+                row["inclusive"] += span.inclusive
+                below = seen_layers + (span.layer,)
+            else:
+                below = seen_layers
+            for child in span.children:
+                walk(child, below)
+
+        for roots in self.forest().values():
+            for root in roots:
+                walk(root, ())
+        return out
+
+    # -- rendering -------------------------------------------------------
+    def report(self, top: int = 15) -> str:
+        """Top-N span table + per-layer attribution, terminal-friendly."""
+        forest = self.forest()
+        n_spans = len(self._spans)
+        busy = self.total_busy()
+        lines = [
+            f"span profile: {n_spans} spans across {len(forest)} entities"
+            + (f", {self.truncated_spans} truncated at shutdown"
+               if self.truncated_spans else "")
+            + (f", {self.clipped_spans} clipped "
+               f"({self.clipped_seconds * 1e6:.2f} us)"
+               if self.clipped_spans else "")
+            + (f", {self.unmatched_ends} unmatched end(s)"
+               if self.unmatched_ends else ""),
+            f"total simulated busy time: {busy * 1e6:.2f} us",
+            "",
+            f"{'layer':<10} {'self_us':>12} {'self_%':>7} {'incl_us':>12}",
+        ]
+        layers = self.per_layer()
+        for layer in sorted(layers,
+                            key=lambda la: -layers[la]["exclusive"]):
+            row = layers[layer]
+            share = row["exclusive"] / busy * 100 if busy > 0 else 0.0
+            lines.append(f"{layer:<10} {row['exclusive'] * 1e6:>12.2f} "
+                         f"{share:>6.1f}% {row['inclusive'] * 1e6:>12.2f}")
+        self_sum = sum(row["exclusive"] for row in layers.values())
+        lines.append(f"{'total':<10} {self_sum * 1e6:>12.2f} "
+                     f"{'100.0%' if busy > 0 else '   n/a':>7}")
+        lines.append("")
+        lines.append(f"top {top} spans by inclusive time:")
+        lines.append(f"{'span':<32} {'count':>7} {'incl_us':>12} "
+                     f"{'self_us':>12}")
+        for row in self.aggregate()[:top]:
+            lines.append(f"{row['name']:<32} {row['count']:>7} "
+                         f"{row['inclusive'] * 1e6:>12.2f} "
+                         f"{row['exclusive'] * 1e6:>12.2f}")
+        return "\n".join(lines)
+
+
+def profile_trace(trace: Trace,
+                  end_time: Optional[float] = None) -> SpanProfiler:
+    """Profile an already-recorded in-memory trace in one pass."""
+    profiler = SpanProfiler()
+    for rec in trace.records:
+        profiler.on_record(rec)
+    profiler.finalize(end_time)
+    return profiler

@@ -13,7 +13,7 @@ glossary.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 #: layer track order (bottom-up through the stack).  These five always
 #: appear in a plain traced run; fault/reliability layers are separate
@@ -66,10 +66,18 @@ CATEGORIES: Dict[str, str] = {
     # -- PIOMan --------------------------------------------------------
     "pioman.poll": "worker woke to drain ltasks (mode = idle_core|wait_core)",
     "pioman.ltask": "one background ltask dispatched",
+    "pioman.ltask.begin": "PIOMan worker began one ltask "
+                          "(dispatch + protocol work under the node lock)",
+    "pioman.ltask.end": "that ltask's protocol work finished "
+                        "(dur = span seconds)",
     "pioman.sem_wait": "application thread blocked on a semaphore, "
                        "releasing its core",
     "pioman.sem_wake": "semaphore wait satisfied (waited = blocked time)",
     # -- MPICH2 (CH3 / Nemesis) ----------------------------------------
+    "mpich2.op.begin": "a blocking MPI API operation entered on a rank "
+                       "(op = send|recv|wait|sendrecv)",
+    "mpich2.op.end": "the blocking MPI API operation returned "
+                     "(dur = rank-local seconds inside the call)",
     "mpich2.send": "MPID_Send entered (path = shm|direct|netmod)",
     "mpich2.recv_post": "MPID_Recv posted (src may be 'ANY')",
     "mpich2.cell_copy": "payload copied into/out of a Nemesis queue cell "
@@ -116,6 +124,40 @@ CATEGORIES: Dict[str, str] = {
 def layer_of(category: str) -> str:
     """The emitting layer of a category (its prefix before the dot)."""
     return category.split(".", 1)[0]
+
+
+#: categories whose record's local entity is named by this data key
+#: (fallback: first of ``rank``/``dst``/``src`` present); sender-side
+#: records name the destination rank in ``dst`` but *happen* on ``src``
+_LOCAL_KEY: Dict[str, str] = {
+    "nmad.send_post": "src",
+    "nmad.cts_rx": "src",
+    "mpich2.send": "src",
+    "mpich2.shm_send": "src",
+}
+
+
+def entity_of(category: str, data: Dict[str, object]) -> str:
+    """The emitting entity of one record, as a stable display label.
+
+    Node-scoped layers (``nic``, ``pioman``, ``strategy``) yield
+    ``node<N>`` (plus the rail for per-rail records); everything else
+    yields ``rank<R>`` from the first rank-naming data key.  This is
+    the track label of the Perfetto export and the per-entity grouping
+    key of the span profiler — one definition so the two line up.
+    """
+    layer = layer_of(category)
+    if layer in ("nic", "pioman", "strategy"):
+        node = data.get("node", "?")
+        rail = data.get("rail")
+        return f"node{node} {rail}" if rail else f"node{node}"
+    key: Optional[str] = _LOCAL_KEY.get(category)
+    if key is None:
+        for k in ("rank", "dst", "src"):
+            if k in data:
+                key = k
+                break
+    return f"rank{data.get(key, '?')}" if key else "events"
 
 
 def categories_of_layer(layer: str) -> Tuple[str, ...]:

@@ -93,7 +93,12 @@ class PIOMan:
             while self._queue:
                 work = self._queue.popleft()
                 self.ltasks_run += 1
+                span_start = None
                 if self.sim.tracing:
+                    span_start = self.sim.now
+                    self.sim.record("pioman.ltask.begin",
+                                    node=self.scheduler.node_id,
+                                    pending=len(self._queue))
                     self.sim.record("pioman.ltask", node=self.scheduler.node_id,
                                     pending=len(self._queue),
                                     dur=self.params.ltask_cost)
@@ -104,6 +109,10 @@ class PIOMan:
                 with self.sim.sync_region(("node", self.scheduler.node_id),
                                           "pioman.ltask"):
                     yield from work()
+                if span_start is not None:
+                    self.sim.record("pioman.ltask.end",
+                                    node=self.scheduler.node_id,
+                                    dur=self.sim.now - span_start)
             self.scheduler.release_core()
         self._worker_running = False
 

@@ -27,7 +27,9 @@ from repro.simulator.events import Event, AllOf, AnyOf
 from repro.simulator.process import Task
 from repro.simulator.resources import Semaphore, Mutex, Channel
 from repro.simulator.errors import SimulationError, Interrupt
-from repro.simulator.tracing import Trace, TraceRecord
+from repro.simulator.hostclock import host_clock
+from repro.simulator.tracing import (Trace, TraceRecord, TraceSampler,
+                                     RingTrace, JsonlTrace, load_trace_jsonl)
 from repro.simulator.rng import rng_stream
 
 __all__ = [
@@ -44,5 +46,10 @@ __all__ = [
     "Interrupt",
     "Trace",
     "TraceRecord",
+    "TraceSampler",
+    "RingTrace",
+    "JsonlTrace",
+    "load_trace_jsonl",
+    "host_clock",
     "rng_stream",
 ]

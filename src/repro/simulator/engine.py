@@ -31,6 +31,7 @@ import heapq
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.simulator.errors import DeadlockError, SimulationError
+from repro.simulator.hostclock import host_clock
 from repro.simulator.tracing import Trace
 
 #: heap entries are (time, seq, handle) or (time, seq, fn, args)
@@ -123,6 +124,12 @@ class Simulator:
         #: building the kwargs dict for :meth:`record`
         self.tracing = False
         self.trace = trace
+        #: perf telemetry (host-side, never fed back into simulation):
+        #: callbacks dispatched, high-water heap length, wall seconds
+        #: spent inside :meth:`run` — see :meth:`perf_stats`
+        self.events_executed = 0
+        self.heap_peak = 0
+        self.run_wall_seconds = 0.0
         #: optional execution monitor (duck-typed; see
         #: ``repro.analysis.race.RaceDetector``).  When set, the engine
         #: reports every schedule and callback slice to it.
@@ -223,6 +230,8 @@ class Simulator:
         """Execute the next pending callback.  Returns False when empty."""
         heap = self._heap
         while heap:
+            if len(heap) > self.heap_peak:
+                self.heap_peak = len(heap)
             entry = heapq.heappop(heap)
             item = entry[2]
             if type(item) is ScheduledCallback:
@@ -231,6 +240,7 @@ class Simulator:
                         self._cancelled -= 1
                     continue
                 self._now = entry[0]
+                self.events_executed += 1
                 monitor = self.monitor
                 if monitor is None:
                     item.fn(*item.args)
@@ -243,6 +253,7 @@ class Simulator:
                 return True
             # slim non-cancellable entry: (time, seq, fn, args)
             self._now = entry[0]
+            self.events_executed += 1
             item(*entry[3])
             return True
         return False
@@ -256,30 +267,47 @@ class Simulator:
         heap drains (tasks blocked on events nobody will trigger).
         """
         heap = self._heap
+        wall_start = host_clock()
         if until is None and self.monitor is None:
-            # hot path: inline pop-dispatch loop, no per-event peeking
+            # hot path: inline pop-dispatch loop, no per-event peeking.
+            # Telemetry stays in locals and is flushed once on exit so
+            # the per-event cost is one compare + one increment.
             pop = heapq.heappop
-            while heap:
-                entry = pop(heap)
-                item = entry[2]
-                if type(item) is ScheduledCallback:
-                    if item.cancelled:
-                        if self._cancelled > 0:
-                            self._cancelled -= 1
-                        continue
-                    self._now = entry[0]
-                    item.fn(*item.args)
-                else:
-                    self._now = entry[0]
-                    item(*entry[3])
+            executed = 0
+            peak = self.heap_peak
+            try:
+                while heap:
+                    if len(heap) > peak:
+                        peak = len(heap)
+                    entry = pop(heap)
+                    item = entry[2]
+                    if type(item) is ScheduledCallback:
+                        if item.cancelled:
+                            if self._cancelled > 0:
+                                self._cancelled -= 1
+                            continue
+                        self._now = entry[0]
+                        executed += 1
+                        item.fn(*item.args)
+                    else:
+                        self._now = entry[0]
+                        executed += 1
+                        item(*entry[3])
+            finally:
+                self.events_executed += executed
+                self.heap_peak = peak
+                self.run_wall_seconds += host_clock() - wall_start
         else:
-            while heap:
-                time = heap[0][0]
-                if until is not None and time > until:
-                    self._now = until
-                    self._raise_unobserved_failures()
-                    return self._now
-                self.step()
+            try:
+                while heap:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        self._now = until
+                        self._raise_unobserved_failures()
+                        return self._now
+                    self.step()
+            finally:
+                self.run_wall_seconds += host_clock() - wall_start
         self._raise_unobserved_failures()
         if detect_deadlock and self._running_tasks > 0:
             raise DeadlockError(
@@ -297,6 +325,28 @@ class Simulator:
         for task in self._failed_tasks:
             if not task._observed:
                 raise task.value
+
+    # ------------------------------------------------------------------
+    # Perf telemetry
+    # ------------------------------------------------------------------
+    def perf_stats(self) -> dict:
+        """Host-side run-loop telemetry, accumulated across ``run`` calls.
+
+        ``events_executed`` counts dispatched callbacks (cancelled
+        entries skipped on pop are not events), ``heap_peak`` is the
+        high-water heap length, ``wall_seconds`` the host time spent
+        inside :meth:`run`, and ``events_per_sec`` their ratio.  Wall
+        time is the one host-dependent quantity in the engine; it feeds
+        telemetry only, never simulation.
+        """
+        wall = self.run_wall_seconds
+        return {
+            "events_executed": float(self.events_executed),
+            "heap_peak": float(self.heap_peak),
+            "wall_seconds": wall,
+            "events_per_sec": (self.events_executed / wall
+                               if wall > 0 else 0.0),
+        }
 
     # ------------------------------------------------------------------
     # Concurrency-analysis hooks (no-ops unless a monitor is installed)

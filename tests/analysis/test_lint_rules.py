@@ -49,10 +49,16 @@ def test_rpr001_clean_on_sim_clock_and_sleep():
     """) == []
 
 
-def test_rpr001_allowlisted_in_experiments_common():
+def test_rpr001_allowlisted_in_simulator_hostclock():
     source = "import time\n\ndef host_clock():\n    return time.time()\n"
-    assert lint_source(source, path="src/repro/experiments/common.py") == []
+    assert lint_source(source, path="src/repro/simulator/hostclock.py") == []
     assert [v.code for v in lint_source(source, path="repro/other.py")] \
+        == ["RPR001"]
+    # the old audited home is no longer exempt: everything funnels
+    # through repro.simulator.hostclock now
+    assert [v.code
+            for v in lint_source(source,
+                                 path="src/repro/experiments/common.py")] \
         == ["RPR001"]
 
 

@@ -1,0 +1,50 @@
+"""Per-run campaign telemetry lands beside the content-addressed cache."""
+
+import json
+
+from repro.campaign import ResultCache, run_campaign
+
+
+def _read_jsonl(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def test_campaign_appends_telemetry(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    report = run_campaign(["ext_stencil_overlap"], fast=True, cache=cache)
+    assert report.telemetry_path == cache.telemetry_path
+
+    rows = _read_jsonl(cache.telemetry_path)
+    assert len(rows) == 1
+    entry = rows[0]
+    assert entry["points"] == report.points
+    assert entry["cache_hits"] == 0
+    assert entry["cache_misses"] == report.points
+    assert entry["wall_seconds"] > 0
+    assert len(entry["per_point"]) == report.points
+    first = entry["per_point"][0]
+    assert first["module"] == "ext_stencil_overlap"
+    assert not first["cached"]
+    assert first["elapsed"] > 0
+    assert entry["executed_seconds"] >= first["elapsed"]
+
+
+def test_warm_rerun_appends_hit_entry(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    run_campaign(["ext_stencil_overlap"], fast=True, cache=cache)
+    warm = run_campaign(["ext_stencil_overlap"], fast=True, cache=cache)
+    assert warm.all_cached
+
+    rows = _read_jsonl(cache.telemetry_path)
+    assert len(rows) == 2
+    entry = rows[1]
+    assert entry["cache_hits"] == warm.points
+    assert entry["cache_misses"] == 0
+    assert entry["executed_seconds"] == 0.0
+    assert all(p["cached"] for p in entry["per_point"])
+
+
+def test_no_cache_means_no_telemetry():
+    report = run_campaign(["ext_stencil_overlap"], fast=True, cache=None)
+    assert report.telemetry_path is None

@@ -31,3 +31,112 @@ def test_cli_trace_overlap(tmp_path, capsys):
     text = capsys.readouterr().out
     assert "overlap" in text
     assert json.load(open(out))["traceEvents"]
+
+
+def test_cli_trace_ring_sink(tmp_path, capsys):
+    out = tmp_path / "ring.json"
+    assert main(["trace", "--size", "64K", "--reps", "2",
+                 "--sink", "ring", "--ring-capacity", "128",
+                 "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "ring sink: 128 retained" in text
+    assert "evicted" in text
+    assert "breakdown is partial" in text
+    assert json.load(open(out))["traceEvents"]
+
+
+def test_cli_trace_jsonl_sink_round_trips(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    spill = tmp_path / "records.jsonl"
+    assert main(["trace", "--size", "64K", "--reps", "1",
+                 "--sink", "jsonl", "--jsonl", str(spill),
+                 "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "jsonl sink" in text
+    # the breakdown came from the reloaded spill file, so it is complete
+    assert "messages traced end-to-end" in text
+    assert spill.exists()
+    with open(spill) as fh:
+        rows = [json.loads(line) for line in fh]
+    assert rows and all("category" in row for row in rows)
+    assert json.load(open(out))["traceEvents"]
+
+
+def test_cli_trace_sampling(capsys, tmp_path):
+    out = tmp_path / "s.json"
+    assert main(["trace", "--size", "64K", "--reps", "1",
+                 "--sample", "pioman=50", "--out", str(out)]) == 0
+    assert "sampled out" in capsys.readouterr().out
+
+
+def test_cli_profile_pingpong(tmp_path, capsys):
+    folded = tmp_path / "p.folded"
+    perfetto = tmp_path / "p.json"
+    assert main(["profile", "mpich2_nmad", "pingpong", "--size", "64K",
+                 "--reps", "2", "--folded", str(folded),
+                 "--perfetto", str(perfetto)]) == 0
+    text = capsys.readouterr().out
+    assert "span profile:" in text
+    assert "total simulated busy time" in text
+    assert "engine:" in text
+
+    # folded-stack values (ns) sum to the reported busy time (us)
+    busy_us = float(next(line for line in text.splitlines()
+                         if "total simulated busy time" in line)
+                    .split(":")[1].split("us")[0])
+    total_ns = 0
+    with open(folded) as fh:
+        for line in fh:
+            stack, value = line.rsplit(" ", 1)
+            assert ";" in stack
+            total_ns += int(value)
+    assert abs(total_ns / 1e3 - busy_us) < 1.0   # within report rounding
+
+    doc = json.load(open(perfetto))
+    slices = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and "self_us" in e.get("args", {})]
+    assert slices, "expected enriched span slices in the Perfetto export"
+
+
+def test_cli_profile_collbench_ring(tmp_path, capsys):
+    assert main(["profile", "mpich2_nmad", "collbench", "--np", "8",
+                 "--coll", "allreduce", "--size", "1K", "--reps", "1",
+                 "--sink", "ring", "--ring-capacity", "256",
+                 "--folded", str(tmp_path / "c.folded"),
+                 "--perfetto", str(tmp_path / "c.json")]) == 0
+    text = capsys.readouterr().out
+    assert "collbench/allreduce p=8" in text
+    assert "ring sink: 256 retained" in text
+    assert "coll.allreduce[" in text
+
+
+def test_cli_profile_rejects_bad_args(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["profile", "mpich2_nmad", "collbench", "--coll", "nosuch"])
+    with pytest.raises(SystemExit):
+        main(["profile", "nosuchstack", "pingpong"])
+
+
+def test_cli_perf_renders_history(tmp_path, capsys, monkeypatch):
+    history = tmp_path / "hist.jsonl"
+    entry = {"datetime": "2026-01-01T00:00:00", "threshold": 0.15,
+             "benches": {"bench.py::test_a": {"mean": 0.01,
+                                              "base_mean": 0.012,
+                                              "ratio": 1.2}},
+             "regressions": [], "improvements": ["bench.py::test_a"],
+             "new": []}
+    history.write_text(json.dumps(entry) + "\n")
+    assert main(["perf", "--history", str(history),
+                 "--cache-dir", str(tmp_path / "nocache")]) == 0
+    text = capsys.readouterr().out
+    assert "benchmark guard history" in text
+    assert "test_a" in text
+    assert "1.200" in text
+
+
+def test_cli_perf_no_data_fails(tmp_path, capsys):
+    assert main(["perf", "--history", str(tmp_path / "none.jsonl"),
+                 "--cache-dir", str(tmp_path / "nocache")]) == 1
+    assert "no perf telemetry" in capsys.readouterr().out

@@ -1,0 +1,216 @@
+"""The sim-time span profiler: pairing, nesting, attribution invariants."""
+
+import pytest
+
+from repro import config
+from repro.observability import SpanProfiler, profile_trace
+from repro.runtime.builder import MPIRuntime
+from repro.simulator import RingTrace
+from repro.simulator.tracing import TraceRecord
+from repro.workloads.collbench import collbench
+from tests.observability.helpers import RDV_SIZE, run_traced
+
+US = 1e-6
+
+
+def feed(profiler, events):
+    for t, cat, data in events:
+        profiler.on_record(TraceRecord(t, cat, data))
+
+
+def folded_matches_busy(prof):
+    busy = prof.total_busy()
+    return abs(sum(prof.folded().values()) - busy) < 1e-12 + 1e-9 * busy
+
+
+# -- synthetic span streams ---------------------------------------------
+def test_nested_begin_end_pairs():
+    prof = SpanProfiler()
+    feed(prof, [
+        (0 * US, "coll.begin", {"rank": 0, "coll": "allreduce",
+                                "algo": "ring"}),
+        (1 * US, "mpich2.op.begin", {"rank": 0, "op": "send"}),
+        (3 * US, "mpich2.op.end", {"rank": 0, "op": "send", "dur": 2 * US}),
+        (10 * US, "coll.end", {"rank": 0, "coll": "allreduce"}),
+    ])
+    prof.finalize(10 * US)
+    roots = prof.forest()["rank0"]
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.name == "coll.allreduce[ring]"
+    assert [c.name for c in root.children] == ["mpich2.send"]
+    assert root.inclusive == pytest.approx(10 * US)
+    assert root.exclusive == pytest.approx(8 * US)
+    assert root.children[0].exclusive == pytest.approx(2 * US)
+    assert prof.total_busy() == pytest.approx(10 * US)
+    assert folded_matches_busy(prof)
+
+
+def test_missing_end_truncated_at_finalize():
+    prof = SpanProfiler()
+    feed(prof, [(2 * US, "mpich2.op.begin", {"rank": 1, "op": "wait"})])
+    prof.finalize(9 * US)
+    assert prof.truncated_spans == 1
+    (span,) = prof.forest()["rank1"]
+    assert span.truncated
+    assert span.start == pytest.approx(2 * US)
+    assert span.end == pytest.approx(9 * US)
+    # finalize is idempotent: nothing new to close
+    prof.finalize(20 * US)
+    assert prof.truncated_spans == 1
+
+
+def test_unmatched_end_counted_and_recovered_via_dur():
+    prof = SpanProfiler()
+    feed(prof, [
+        (5 * US, "mpich2.op.end", {"rank": 0, "op": "send", "dur": 2 * US}),
+        (8 * US, "mpich2.op.end", {"rank": 0, "op": "recv"}),
+    ])
+    prof.finalize(8 * US)
+    assert prof.unmatched_ends == 2
+    # the dur-carrying end recovered its extent; the bare one vanished
+    (span,) = prof.forest()["rank0"]
+    assert span.name == "mpich2.send"
+    assert span.start == pytest.approx(3 * US)
+    assert span.end == pytest.approx(5 * US)
+
+
+def test_overlapping_spans_on_one_rank_are_clipped():
+    # two threads of one rank: send [0, 10], recv [5, 15] partially overlap
+    prof = SpanProfiler()
+    feed(prof, [
+        (0 * US, "mpich2.op.begin", {"rank": 0, "op": "send"}),
+        (5 * US, "mpich2.op.begin", {"rank": 0, "op": "recv"}),
+        (10 * US, "mpich2.op.end", {"rank": 0, "op": "send"}),
+        (15 * US, "mpich2.op.end", {"rank": 0, "op": "recv"}),
+    ])
+    prof.finalize(15 * US)
+    (root,) = prof.forest()["rank0"]
+    assert root.name == "mpich2.send"
+    (child,) = root.children
+    assert child.name == "mpich2.recv"
+    assert child.clipped == pytest.approx(5 * US)
+    assert child.end == pytest.approx(10 * US)
+    assert prof.clipped_spans == 1
+    assert prof.clipped_seconds == pytest.approx(5 * US)
+    # the tree stays consistent: folded still covers exactly the busy time
+    assert prof.total_busy() == pytest.approx(10 * US)
+    assert folded_matches_busy(prof)
+
+
+def test_forest_rebuild_never_double_counts_clipping():
+    prof = SpanProfiler()
+    feed(prof, [
+        (0 * US, "mpich2.op.begin", {"rank": 0, "op": "send"}),
+        (5 * US, "mpich2.op.begin", {"rank": 0, "op": "recv"}),
+        (10 * US, "mpich2.op.end", {"rank": 0, "op": "send"}),
+        (15 * US, "mpich2.op.end", {"rank": 0, "op": "recv"}),
+    ])
+    prof.finalize(15 * US)
+    prof.forest()
+    first = prof.clipped_seconds
+    # closing another span invalidates the forest; rebuilding must not
+    # re-add the earlier clip nor keep last build's shortened extents
+    prof.on_record(TraceRecord(20 * US, "nic.tx",
+                               {"node": 0, "dur": 1 * US}))
+    prof.forest()
+    assert prof.clipped_seconds == pytest.approx(first)
+
+
+def test_zero_width_and_interleaved_ops():
+    prof = SpanProfiler()
+    feed(prof, [
+        (1 * US, "mpich2.op.begin", {"rank": 0, "op": "wait"}),
+        (1 * US, "mpich2.op.end", {"rank": 0, "op": "wait"}),
+        # interleaved distinct ops match by their op discriminator
+        (2 * US, "mpich2.op.begin", {"rank": 0, "op": "send"}),
+        (3 * US, "mpich2.op.begin", {"rank": 0, "op": "recv"}),
+        (4 * US, "mpich2.op.end", {"rank": 0, "op": "send"}),
+        (5 * US, "mpich2.op.end", {"rank": 0, "op": "recv"}),
+    ])
+    prof.finalize(5 * US)
+    assert prof.unmatched_ends == 0
+    names = sorted(s.name for s in prof.all_spans())
+    assert names == ["mpich2.recv", "mpich2.send", "mpich2.wait"]
+    zero = next(s for s in prof.all_spans() if s.name == "mpich2.wait")
+    assert zero.inclusive == 0.0
+    assert folded_matches_busy(prof)
+
+
+def test_dur_records_become_leaf_spans():
+    prof = SpanProfiler()
+    feed(prof, [
+        (0 * US, "mpich2.op.begin", {"rank": 0, "op": "send"}),
+        (1 * US, "nmad.send_post", {"src": 0, "dur": 2 * US}),
+        (6 * US, "mpich2.op.end", {"rank": 0, "op": "send"}),
+    ])
+    prof.finalize(6 * US)
+    (root,) = prof.forest()["rank0"]
+    (leaf,) = root.children
+    assert leaf.name == "nmad.send_post"
+    assert leaf.inclusive == pytest.approx(2 * US)
+    assert root.exclusive == pytest.approx(4 * US)
+
+
+def test_detach_stops_feeding():
+    from repro.simulator import Trace
+
+    trace = Trace()
+    prof = SpanProfiler().attach(trace)
+    trace.append(0.0, "mpich2.op.begin", {"rank": 0, "op": "send"})
+    prof.detach()
+    trace.append(1 * US, "mpich2.op.end", {"rank": 0, "op": "send"})
+    prof.finalize(1 * US)
+    assert prof.truncated_spans == 1   # the end was never seen
+
+
+# -- real workloads ------------------------------------------------------
+def test_pingpong_folded_sum_equals_busy():
+    from repro.workloads.netpipe import pingpong
+
+    trace = run_traced(pingpong(RDV_SIZE, reps=3, warmup=0))
+    prof = profile_trace(trace)
+    busy = prof.total_busy()
+    assert busy > 0
+    assert folded_matches_busy(prof)
+    layers = prof.per_layer()
+    assert "mpich2" in layers and "nic" in layers
+    # per-layer self times partition the busy time
+    self_sum = sum(row["exclusive"] for row in layers.values())
+    assert self_sum == pytest.approx(busy, rel=1e-9)
+    # report renders without error and carries the headline number
+    assert "total simulated busy time" in prof.report()
+
+
+def test_p64_collbench_under_ring_sink_is_bounded():
+    capacity = 2048
+    trace = RingTrace(capacity)
+    prof = SpanProfiler().attach(trace)
+    runtime = MPIRuntime(64, config.mpich2_nmad(), trace=trace)
+    runtime.run(collbench("allreduce", 1024, reps=1, warmup=0))
+    prof.finalize(runtime.sim.now)
+    # the sink stayed bounded while the profiler saw the whole stream
+    assert len(trace) <= capacity
+    assert trace.seen > capacity
+    assert trace.evicted == trace.seen - capacity
+    assert prof.total_busy() > 0
+    assert folded_matches_busy(prof)
+    # all 64 ranks show up as entities
+    ranks = {e for e in prof.forest() if e.startswith("rank")}
+    assert len(ranks) == 64
+
+
+def test_write_folded_nanosecond_lines(tmp_path):
+    from repro.workloads.netpipe import pingpong
+
+    trace = run_traced(pingpong(RDV_SIZE, reps=1, warmup=0))
+    prof = profile_trace(trace)
+    path = prof.write_folded(str(tmp_path / "out.folded"))
+    total = 0
+    with open(path) as fh:
+        for line in fh:
+            stack, value = line.rsplit(" ", 1)
+            assert ";" in stack
+            total += int(value)
+    assert total == pytest.approx(prof.total_busy() * 1e9, abs=len(
+        prof.folded()))   # each line rounds to the nanosecond
