@@ -20,22 +20,30 @@ from typing import Any, Optional
 
 from repro import config
 from repro.analysis.race.detector import RaceDetector, RaceReport
-from repro.config import StackSpec
+from repro.config import ClusterSpec, StackSpec
 from repro.runtime.builder import MPIRuntime
 from repro.workloads.netpipe import pingpong
 
 
 def run_race(spec: StackSpec, *, size: int = 65536, reps: int = 3,
              seed: int = 0, nprocs: int = 2,
+             cluster: Optional[ClusterSpec] = None,
              faults: Optional[Any] = None) -> RaceReport:
     """Run a ping-pong under the race detector; return its report.
+
+    ``cluster`` defaults to the two-node point-to-point testbed; pass a
+    topology-bearing :class:`~repro.config.ClusterSpec` to put the
+    routed-fabric link traversal (and its congestion-feedback writes)
+    under happens-before tracking too.
 
     The run is kept deliberately small: happens-before tracking keeps a
     vector-clock entry per execution context, so this mode is meant for
     smoke-sized scenarios, not sweeps (see docs/ANALYSIS.md).
     """
     detector = RaceDetector()
-    runtime = MPIRuntime(nprocs, spec, cluster=config.xeon_pair(),
+    runtime = MPIRuntime(nprocs, spec,
+                         cluster=cluster if cluster is not None
+                         else config.xeon_pair(),
                          seed=seed, faults=faults)
     detector.install(runtime.sim)
     runtime.run(pingpong(size, reps=reps, warmup=0))

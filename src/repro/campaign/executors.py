@@ -86,13 +86,69 @@ def _exec_coll(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.workloads.collbench import run_collbench
 
     spec = build_stack(params["stack"])
+    cluster = None
+    topo = params.get("topology")
+    if topo:
+        from repro.hardware.netgraph import parse_topology
+
+        cluster = config.ClusterSpec(n_nodes=params["nprocs"],
+                                     topology=parse_topology(topo))
     res = run_collbench(spec, params["nprocs"], params["collective"],
                         params["size"],
                         algorithm=params.get("algorithm"),
                         reps=params.get("reps", 5),
-                        warmup=params.get("warmup", 2))
+                        warmup=params.get("warmup", 2),
+                        cluster=cluster)
     return {"per_op": res.per_op, "algorithm": res.algorithm,
             "elapsed": res.elapsed}
+
+
+def _exec_topo_multirail(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Striped transfers on a two-rail cluster whose mx rail is routed.
+
+    Rank 0 streams ``n_msgs`` payloads of ``size`` bytes to rank 1 under
+    the configured split strategy; an optional ``bg`` flow injects pure
+    interference frames on the routed rail so its links congest.  The
+    result records how the mx split share evolved.
+    """
+    from repro.hardware import presets as hw
+    from repro.hardware.netgraph import BackgroundTraffic, parse_topology
+    from repro.runtime.builder import MPIRuntime
+    from repro.simulator import Trace
+
+    spec = build_stack(params["stack"])
+    cluster = config.ClusterSpec(
+        n_nodes=params["n_nodes"], rails=(hw.IB_CONNECTX, hw.MX_MYRI10G),
+        topology=parse_topology(params["topology"]), topo_rails=("mx",))
+    size, n_msgs = params["size"], params["n_msgs"]
+
+    def prog(comm):
+        for i in range(n_msgs):
+            if comm.rank == 0:
+                yield from comm.send(1, tag=i, size=size)
+                yield from comm.recv(src=1, tag=1000 + i)
+            else:
+                yield from comm.recv(src=0, tag=i)
+                yield from comm.send(0, tag=1000 + i, size=16)
+
+    trace = Trace()
+    rt = MPIRuntime(2, spec, cluster=cluster, trace=trace)
+    bg = params.get("bg")
+    if bg:
+        BackgroundTraffic(rt.cluster.fabrics["mx"], src=bg["src"],
+                          dst=bg["dst"], size=bg["size"],
+                          period=bg["period"], count=bg["count"]).install()
+    res = rt.run(prog)
+    splits = [r.data["shares"] for r in trace.records
+              if r.category == "strategy.split"]
+    mx_shares = [dict(s).get("mx", 0) / sum(c for _, c in s) for s in splits]
+    return {"elapsed": res.elapsed,
+            "splits": len(mx_shares),
+            "mx_share_first": mx_shares[0] if mx_shares else 0.0,
+            "mx_share_last": mx_shares[-1] if mx_shares else 0.0,
+            "mx_share_min": min(mx_shares) if mx_shares else 0.0,
+            "observed_delay":
+                rt.cluster.fabrics["mx"].observed_source_delay(0)}
 
 
 _EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
@@ -101,6 +157,7 @@ _EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "nas": _exec_nas,
     "stencil": _exec_stencil,
     "coll": _exec_coll,
+    "topo_multirail": _exec_topo_multirail,
 }
 
 

@@ -40,6 +40,7 @@ ALL_MODULES: Tuple[str, ...] = tuple(EXPERIMENTS) + (
     "ext_is_datatypes",
     "ext_stencil_overlap",
     "ext_collectives",
+    "ext_topology",
 )
 
 

@@ -26,6 +26,9 @@ Commands
 ``coll-tune``     collective-algorithm autotuner: sweep every registered
                   algorithm over a (p x size) grid through the campaign
                   cache and emit a tuned selection table
+``topo``          routed network topologies: list presets, describe and
+                  visualize a link/switch graph, or sweep one collective
+                  across topologies and report per-link hot spots
 """
 
 from __future__ import annotations
@@ -438,10 +441,80 @@ def cmd_race(args) -> int:
         print(report.format_text())
         return 1 if report.races else 0
     spec = _stack(args.preset)
+    cluster = None
+    if args.topo:
+        from repro.hardware import presets as hw
+        from repro.hardware.netgraph import parse_topology
+
+        topo = parse_topology(args.topo)
+        if topo is None:
+            raise SystemExit(f"--topo {args.topo!r} is the flat fabric; "
+                             "pass e.g. torus2d:2x2 or omit the flag")
+        cluster = config.ClusterSpec(
+            n_nodes=topo.capacity, node=hw.XEON_NODE,
+            rails=(hw.IB_CONNECTX, hw.MX_MYRI10G), topology=topo)
     report = run_race(spec, size=_parse_size(args.size), reps=args.reps,
-                      seed=args.seed)
+                      seed=args.seed, cluster=cluster)
     print(report.format_text())
     return 1 if report.races else 0
+
+
+def cmd_topo(args) -> int:
+    from repro.hardware import presets as hw
+    from repro.hardware.netgraph import PRESETS, NetGraph, parse_topology
+
+    rail = {"ib": hw.IB_CONNECTX, "mx": hw.MX_MYRI10G}[args.rail]
+    if args.action == "list":
+        for name in sorted(PRESETS):
+            d = NetGraph(PRESETS[name], rail).describe()
+            print(f"{name:<12} {d['nodes']:>3} nodes, "
+                  f"{d['switches']:>2} switches, {d['links']:>3} links, "
+                  f"diameter {d['diameter_hops']} hop(s), "
+                  f"mean {d['mean_hops']:.2f}")
+        return 0
+    if not args.topology:
+        raise SystemExit(f"topo {args.action} needs a topology argument "
+                         "(e.g. torus2d:4x4; `repro topo list` for presets)")
+    if args.action == "describe":
+        spec = parse_topology(args.topology)
+        if spec is None:
+            raise SystemExit("the flat fabric has no graph to describe")
+        graph = NetGraph(spec, rail)
+        for key, value in graph.describe().items():
+            print(f"{key:<16} {value}")
+        art = graph.ascii_art()
+        if art:
+            print()
+            print(art)
+        return 0
+    # sweep: one collective cell per topology, with link hot spots
+    from repro.observability.metrics import attach_metrics
+    from repro.simulator import Trace
+    from repro.workloads.collbench import run_collbench
+
+    spec_stack = _stack(args.stack)
+    size = _parse_size(args.size)
+    for text in args.topology.split(","):
+        topo = parse_topology(text)
+        cluster = None
+        if topo is not None:
+            if topo.capacity < args.nprocs:
+                raise SystemExit(f"{topo.name} holds {topo.capacity} "
+                                 f"node(s) < --nprocs {args.nprocs}")
+            cluster = config.ClusterSpec(n_nodes=args.nprocs, topology=topo)
+        trace = Trace()
+        metrics = attach_metrics(trace)
+        res = run_collbench(spec_stack, args.nprocs, args.coll, size,
+                            algorithm=args.algo, reps=args.reps,
+                            cluster=cluster, trace=trace)
+        label = topo.name if topo is not None else "flat"
+        print(f"{label:<14} {args.coll}/{res.algorithm} p={args.nprocs} "
+              f"{size} B: {res.per_op * 1e6:.1f} us/op")
+        for link, row in metrics.hottest_links(args.links).items():
+            print(f"    {link:<20} busy {row['busy_time'] * 1e6:8.1f} us  "
+                  f"queued {row['queue_delay'] * 1e6:8.1f} us  "
+                  f"max depth {int(row['max_depth'])}")
+    return 0
 
 
 def cmd_campaign(args) -> int:
@@ -645,7 +718,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--demo-racy", action="store_true",
                    help="run the deliberately racy scenario instead "
                         "(must report a race; exercises the detector)")
+    p.add_argument("--topo", default=None,
+                   help="run on a routed topology (e.g. torus2d:2x2) so "
+                        "link traversal is under the detector too")
     p.set_defaults(fn=cmd_race)
+
+    p = sub.add_parser("topo", help="routed network topologies: describe/"
+                                    "visualize a graph, sweep a collective "
+                                    "across topologies with link hot spots")
+    p.add_argument("action", choices=["list", "describe", "sweep"])
+    p.add_argument("topology", nargs="?", default=None,
+                   help="topology string, e.g. torus2d:4x4 or fattree:4 "
+                        "(sweep takes a comma list; 'flat' allowed)")
+    p.add_argument("--rail", choices=["ib", "mx"], default="ib",
+                   help="NIC parameters the links inherit")
+    p.add_argument("--stack", default="mpich2_nmad")
+    p.add_argument("--coll", default="allreduce")
+    p.add_argument("--algo", default=None,
+                   help="force one algorithm (default: selection table)")
+    p.add_argument("--nprocs", type=int, default=8)
+    p.add_argument("--size", default="64K",
+                   help="message size, K/M suffixes allowed")
+    p.add_argument("--reps", type=int, default=2)
+    p.add_argument("--links", type=int, default=5,
+                   help="hottest links to print per topology")
+    p.set_defaults(fn=cmd_topo)
 
     p = sub.add_parser("campaign", help="parallel, cached experiment "
                                         "campaign over the paper figures")

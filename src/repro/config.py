@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 from repro.comparators import presets as comparator_presets
 from repro.comparators.native import NativeCosts
 from repro.hardware import presets as hw
+from repro.hardware.netgraph import TopologySpec
 from repro.hardware.params import NICParams, NodeParams
 from repro.mpich2.ch3 import CH3Costs
 from repro.mpich2.nemesis.shm import ShmCosts
@@ -40,6 +41,11 @@ class ClusterSpec:
     n_nodes: int
     node: NodeParams = hw.XEON_NODE
     rails: Tuple[NICParams, ...] = (hw.IB_CONNECTX,)
+    #: when set, the named rails (all by default) become
+    #: :class:`~repro.hardware.netgraph.RoutedFabric`\ s over this
+    #: link/switch graph instead of flat full-bisection switches
+    topology: Optional[TopologySpec] = None
+    topo_rails: Tuple[str, ...] = ()
 
     def rail_names(self) -> Tuple[str, ...]:
         return tuple(r.name for r in self.rails)

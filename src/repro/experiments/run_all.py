@@ -14,6 +14,7 @@ from repro.experiments import (
     ext_collectives,
     ext_is_datatypes,
     ext_stencil_overlap,
+    ext_topology,
     fig4_infiniband,
     fig5_multirail,
     fig6_pioman_overhead,
@@ -25,7 +26,7 @@ from repro.experiments import (
 def main(fast: bool = False) -> None:
     modules = [fig4_infiniband, fig5_multirail, fig6_pioman_overhead,
                fig7_overlap, fig8_nas, ext_is_datatypes, ext_stencil_overlap,
-               ext_collectives]
+               ext_collectives, ext_topology]
     for mod in modules:
         t0 = host_clock()
         print("\n" + "=" * 72)

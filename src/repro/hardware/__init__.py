@@ -11,6 +11,13 @@ registration cache (MVAPICH2-like).
 from repro.hardware.params import NICParams, MemParams, NodeParams
 from repro.hardware.nic import NIC, Fabric, Frame
 from repro.hardware.memory import MemoryRegistrar
+from repro.hardware.netgraph import (
+    BackgroundTraffic,
+    NetGraph,
+    RoutedFabric,
+    TopologySpec,
+    parse_topology,
+)
 from repro.hardware.topology import Node, Cluster, build_cluster
 from repro.hardware import presets
 
@@ -22,6 +29,11 @@ __all__ = [
     "Fabric",
     "Frame",
     "MemoryRegistrar",
+    "BackgroundTraffic",
+    "NetGraph",
+    "RoutedFabric",
+    "TopologySpec",
+    "parse_topology",
     "Node",
     "Cluster",
     "build_cluster",

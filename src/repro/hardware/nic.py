@@ -158,6 +158,18 @@ class Fabric:
         self._nics: Dict[int, NIC] = {}
         #: optional :class:`repro.faults.injector.FaultInjector`
         self.injector = None
+        #: :class:`repro.hardware.netgraph.TopologySpec` on routed rails
+        self.topology = None
+
+    def observed_source_delay(self, node_id: int) -> float:
+        """Recent link-queueing delay seen by frames from ``node_id``.
+
+        The flat fabric never queues outside the NICs, so this is 0;
+        :class:`repro.hardware.netgraph.RoutedFabric` overrides it with
+        a live congestion estimate that contention-aware multirail
+        strategies consume.
+        """
+        return 0.0
 
     def attach(self, node_id: int) -> NIC:
         """Create and register this rail's NIC for ``node_id``."""

@@ -64,8 +64,15 @@ def build_cluster(
     n_nodes: int,
     node_params: NodeParams,
     rails: Sequence[NICParams],
+    topology=None,
+    topo_rails: Sequence[str] = (),
 ) -> Cluster:
     """Build ``n_nodes`` identical nodes, each attached to every rail.
+
+    ``topology`` (a :class:`repro.hardware.netgraph.TopologySpec`)
+    turns rails into :class:`~repro.hardware.netgraph.RoutedFabric`\\ s
+    — all of them by default, or only those named in ``topo_rails``.
+    Without a topology every rail is the flat full-bisection fabric.
 
     Example
     -------
@@ -81,7 +88,18 @@ def build_cluster(
     names = [r.name for r in rails]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate rail names: {names}")
-    fabrics = {r.name: Fabric(sim, r) for r in rails}
+    fabrics: Dict[str, Fabric] = {}
+    for r in rails:
+        if topology is not None and (not topo_rails or r.name in topo_rails):
+            from repro.hardware.netgraph import RoutedFabric
+
+            if topology.capacity < n_nodes:
+                raise ValueError(
+                    f"topology {topology.name} holds {topology.capacity} "
+                    f"node(s), cluster needs {n_nodes}")
+            fabrics[r.name] = RoutedFabric(sim, r, topology)
+        else:
+            fabrics[r.name] = Fabric(sim, r)
     nodes = []
     for node_id in range(n_nodes):
         node = Node(sim, node_id, node_params)

@@ -9,17 +9,21 @@ frees window space, the strategy decides what to put on the wire:
 * :class:`SplitBalanceStrategy` — multirail: small messages ride the
   fastest rail; large rendezvous payloads are striped across all rails
   proportionally to their sampled bandwidth (paper [4]).
+* :class:`SplitContentionStrategy` — as above, but the split responds
+  to live link congestion observed on topology-routed rails.
 """
 
 from repro.nmad.strategies.base import DefaultStrategy, SendItem
 from repro.nmad.strategies.aggreg import AggregStrategy
 from repro.nmad.strategies.split_balance import SplitBalanceStrategy
+from repro.nmad.strategies.split_contention import SplitContentionStrategy
 from repro.nmad.strategies.sampling import NetworkSampler
 
 _REGISTRY = {
     "default": DefaultStrategy,
     "aggreg": AggregStrategy,
     "split_balance": SplitBalanceStrategy,
+    "split_contention": SplitContentionStrategy,
 }
 
 
@@ -39,6 +43,7 @@ __all__ = [
     "DefaultStrategy",
     "AggregStrategy",
     "SplitBalanceStrategy",
+    "SplitContentionStrategy",
     "NetworkSampler",
     "make_strategy",
 ]

@@ -10,7 +10,7 @@ rate — so asymmetric rails get asymmetric shares.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.nmad.drivers.base import NmadDriver
 
@@ -38,17 +38,38 @@ class NetworkSampler:
         """Drivers sorted by ascending small-message latency."""
         return sorted(drivers, key=lambda d: d.small_latency())
 
+    def contended_bandwidth(self, driver: NmadDriver,
+                            extra_delay: float) -> float:
+        """Effective B/s with ``extra_delay`` seconds of observed
+        in-network queueing added to the reference transfer."""
+        t = driver.nic.params.injection_time(self.ref_size) + max(0.0, extra_delay)
+        return self.ref_size / t
+
     def split(self, drivers: Sequence[NmadDriver], size: int) -> List[Tuple[NmadDriver, int]]:
         """Stripe ``size`` bytes across ``drivers`` by sampled bandwidth.
 
         Returns ``(driver, chunk_bytes)`` pairs with positive chunks
         summing exactly to ``size``.
         """
+        rates = [self.sampled_bandwidth(d) for d in drivers]
+        return self._apportion(drivers, size, rates)
+
+    def split_contended(self, drivers: Sequence[NmadDriver], size: int,
+                        delay_of: Callable[[NmadDriver], float]) -> List[Tuple[NmadDriver, int]]:
+        """Like :meth:`split`, but each rail's sampled rate is degraded
+        by ``delay_of(driver)`` — the recent in-network queueing delay
+        its frames experienced — so congested rails earn smaller shares.
+        """
+        rates = [self.contended_bandwidth(d, delay_of(d)) for d in drivers]
+        return self._apportion(drivers, size, rates)
+
+    @staticmethod
+    def _apportion(drivers: Sequence[NmadDriver], size: int,
+                   rates: Sequence[float]) -> List[Tuple[NmadDriver, int]]:
         if not drivers:
             raise ValueError("cannot split across zero drivers")
         if size <= 0:
             raise ValueError("split size must be positive")
-        rates = [self.sampled_bandwidth(d) for d in drivers]
         total_rate = sum(rates)
         chunks = [int(size * r / total_rate) for r in rates]
         # hand the rounding remainder to the fastest-sampling rail

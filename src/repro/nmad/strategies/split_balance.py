@@ -10,6 +10,8 @@ approaches the sum of the rails.
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 from repro.nmad.drivers.base import NmadDriver
 from repro.nmad.packet import DataEntry, PacketWrapper
 from repro.nmad.strategies.aggreg import AggregStrategy
@@ -33,12 +35,21 @@ class SplitBalanceStrategy(AggregStrategy):
             return self._pump_split(head)
         return super()._pump_driver(driver)
 
+    def _shares(self, free: List[NmadDriver],
+                item: SendItem) -> List[Tuple[NmadDriver, int]]:
+        """How ``item.size`` bytes divide over the free rails.
+
+        Subclasses override this to fold live feedback (observed link
+        contention, rail health) into the static sampled profile.
+        """
+        return self.core.sampler.split(free, item.size)
+
     def _pump_split(self, item: SendItem) -> bool:
         free = [d for d in self.core.preferred_drivers() if d.window_free()]
         if not free:
             return False
         self.queue.popleft()
-        shares = self.core.sampler.split(free, item.size)
+        shares = self._shares(free, item)
         if self.core.sim.tracing:
             self.core.sim.record(
                 "strategy.split", strategy=self.name, rdv=item.rdv_id,

@@ -1,0 +1,38 @@
+"""Contention-aware multirail striping over topology-routed rails.
+
+:class:`~repro.nmad.strategies.split_balance.SplitBalanceStrategy`
+apportions a large payload by the rails' *sampled* bandwidths — a
+static profile measured on an idle network.  On a routed fabric
+(:class:`~repro.hardware.netgraph.RoutedFabric`) frames additionally
+queue on shared links, so the static profile overfeeds a congested
+rail.  This strategy folds the fabric's live congestion estimate —
+the EWMA of per-frame link-queueing delay observed for traffic from
+this node — back into the split: a rail whose routes are contended
+samples a lower effective bandwidth and earns a smaller share.
+
+On flat rails ``observed_source_delay`` is identically zero and this
+strategy degrades to exactly ``split_balance``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.nmad.drivers.base import NmadDriver
+from repro.nmad.strategies.base import SendItem
+from repro.nmad.strategies.split_balance import SplitBalanceStrategy
+
+
+class SplitContentionStrategy(SplitBalanceStrategy):
+    """Bandwidth split degraded by observed per-rail link contention."""
+
+    name = "split_contention"
+
+    def _rail_delay(self, driver: NmadDriver) -> float:
+        nic = driver.nic
+        return nic.fabric.observed_source_delay(nic.node_id)
+
+    def _shares(self, free: List[NmadDriver],
+                item: SendItem) -> List[Tuple[NmadDriver, int]]:
+        return self.core.sampler.split_contended(
+            free, item.size, self._rail_delay)

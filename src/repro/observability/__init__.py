@@ -46,6 +46,7 @@ from repro.observability.taxonomy import (
     COLL_LAYERS,
     FAULT_LAYERS,
     LAYERS,
+    LINK_LAYERS,
     entity_of,
     layer_of,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "COLL_LAYERS",
     "FAULT_LAYERS",
     "LAYERS",
+    "LINK_LAYERS",
     "entity_of",
     "layer_of",
 ]

@@ -157,6 +157,13 @@ class TraceMetrics:
 
     Counters/gauges/histograms kept (see ``docs/OBSERVABILITY.md``):
 
+    * ``link.frames[rail/link]`` / ``link.bytes[rail/link]`` — per-link
+      traffic on routed fabrics
+    * ``link.busy_time[rail/link]`` — serialization seconds per link
+    * ``link.queue_delay[rail/link]`` — seconds spent waiting behind
+      earlier frames on the link (histogram)
+    * ``link.queue_depth[rail/link]`` — occupancy gauge; its high-water
+      mark is the link's max contention
     * ``nic.tx_frames[rail]`` / ``nic.tx_bytes[rail]`` — traffic per rail
     * ``nic.busy_time[rail]`` — summed injection time (for busy fraction)
     * ``nmad.messages_sent`` / ``nmad.messages_received``
@@ -196,6 +203,16 @@ class TraceMetrics:
         handler = self._HANDLERS.get(rec.category)
         if handler is not None:
             handler(self, rec)
+
+    def _on_link_xmit(self, rec: TraceRecord) -> None:
+        r = self.registry
+        link = f"{rec.data.get('rail', '?')}/{rec.data.get('link', '?')}"
+        r.counter("link.frames", link).inc()
+        r.counter("link.bytes", link).inc(rec.data.get("size", 0))
+        r.counter("link.busy_time", link).inc(rec.data.get("dur", 0.0))
+        r.histogram("link.queue_delay", link).observe(
+            rec.data.get("queued", 0.0))
+        r.gauge("link.queue_depth", link).set(rec.data.get("depth", 0))
 
     def _on_nic_tx(self, rec: TraceRecord) -> None:
         r = self.registry
@@ -317,6 +334,7 @@ class TraceMetrics:
         self.registry.counter("reliab.failovers").inc()
 
     _HANDLERS = {
+        "link.xmit": _on_link_xmit,
         "nic.tx": _on_nic_tx,
         "nmad.send_post": _on_send_post,
         "nmad.eager_rx": _on_recv_done,
@@ -361,6 +379,23 @@ class TraceMetrics:
         for rail in r.labels_of("nic.busy_time"):
             busy = r.counter("nic.busy_time", rail).value
             out[rail] = busy / span if span > 0 else 0.0
+        return out
+
+    def hottest_links(self, n: int = 5) -> Dict[str, Dict[str, float]]:
+        """The ``n`` links with the most queueing (contention hot spots)."""
+        r = self.registry
+        rows = []
+        for link in r.labels_of("link.queue_delay"):
+            h = r.histogram("link.queue_delay", link)
+            busy = r.counter("link.busy_time", link).value
+            rows.append((h.total, busy, link))
+        out: Dict[str, Dict[str, float]] = {}
+        for total, _busy, link in sorted(rows, reverse=True)[:n]:
+            out[link] = {
+                "queue_delay": total,
+                "busy_time": r.counter("link.busy_time", link).value,
+                "max_depth": r.gauge("link.queue_depth", link).high,
+            }
         return out
 
     def polls_per_message(self) -> float:

@@ -26,14 +26,23 @@ FAULT_LAYERS: Tuple[str, ...] = ("fault", "reliab")
 #: collective-dispatch layer (only emits when a program runs collectives)
 COLL_LAYERS: Tuple[str, ...] = ("coll",)
 
-#: every documented layer, in track order
-ALL_LAYERS: Tuple[str, ...] = LAYERS + COLL_LAYERS + FAULT_LAYERS
+#: link layer: per-hop traversal of a routed fabric (only emits when a
+#: :class:`~repro.hardware.netgraph.RoutedFabric` topology is in play)
+LINK_LAYERS: Tuple[str, ...] = ("link",)
+
+#: every documented layer, in track order (links sit below the NICs)
+ALL_LAYERS: Tuple[str, ...] = LINK_LAYERS + LAYERS + COLL_LAYERS + FAULT_LAYERS
 
 #: category -> one-line description.  Common data keys: ``src``/``dst``
 #: (ranks), ``tag``, ``seq``, ``size`` (payload bytes), ``rdv``
 #: (rendezvous id), ``dur`` (simulated seconds of work charged at/after
 #: the record), ``rail`` (NIC name).
 CATEGORIES: Dict[str, str] = {
+    # -- hardware (routed-fabric links) --------------------------------
+    "link.xmit": "frame occupied one link of a routed fabric "
+                 "(dur = serialization, queued = wait behind earlier "
+                 "frames, depth = occupancy after entry, hop/hops = "
+                 "position along the route; src/dst are node ids)",
     # -- hardware (NIC / fabric) ---------------------------------------
     "nic.tx": "frame injection posted on a NIC transmit engine "
               "(dur = injection time, queued = tx-engine backlog delay)",
@@ -147,6 +156,10 @@ def entity_of(category: str, data: Dict[str, object]) -> str:
     key of the span profiler — one definition so the two line up.
     """
     layer = layer_of(category)
+    if layer == "link":
+        # link records name the physical link itself, not a rank: their
+        # src/dst keys are *node* ids and must not hit the rank fallback
+        return f"{data.get('rail', '?')} {data.get('link', '?')}"
     if layer in ("nic", "pioman", "strategy"):
         node = data.get("node", "?")
         rail = data.get("rail")

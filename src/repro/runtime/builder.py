@@ -65,7 +65,8 @@ class MPIRuntime:
         self.seed = seed
         self.sim = Simulator(trace=trace)
         self.cluster: Cluster = build_cluster(
-            self.sim, cluster.n_nodes, cluster.node, list(cluster.rails))
+            self.sim, cluster.n_nodes, cluster.node, list(cluster.rails),
+            topology=cluster.topology, topo_rails=cluster.topo_rails)
 
         if ranks_per_node is None:
             ranks_per_node = math.ceil(nprocs / cluster.n_nodes)

@@ -1,0 +1,246 @@
+"""Unit tests for the topology-aware fabrics (repro.hardware.netgraph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.hardware import presets as hw
+from repro.hardware.netgraph import (
+    PRESETS,
+    BackgroundTraffic,
+    NetGraph,
+    RoutedFabric,
+    TopologySpec,
+    fattree,
+    mesh2d,
+    parse_topology,
+    ring,
+    torus2d,
+)
+from repro.hardware.nic import Fabric, Frame
+from repro.hardware.topology import build_cluster
+from repro.runtime import run_mpi
+from repro.simulator import Simulator
+
+
+def pingpong(size):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, size=size)
+            yield from comm.recv(src=1, tag=2)
+        elif comm.rank == 1:
+            yield from comm.recv(src=0, tag=1)
+            yield from comm.send(0, tag=2, size=size)
+    return program
+
+
+# -- spec ---------------------------------------------------------------
+
+class TestTopologySpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            TopologySpec("hypercube", (4,))
+        with pytest.raises(ValueError, match="dimension"):
+            TopologySpec("ring", ())
+        with pytest.raises(ValueError, match="dimension"):
+            TopologySpec("torus2d", (4,))
+        with pytest.raises(ValueError, match="dimension"):
+            TopologySpec("mesh2d", (1, 4))
+        with pytest.raises(ValueError, match="even"):
+            TopologySpec("fattree", (3,))
+
+    def test_capacity_and_name(self):
+        assert ring(8).capacity == 8
+        assert torus2d(4, 4).capacity == 16
+        assert fattree(4).capacity == 16
+        assert fattree(4).name == "fattree:4"
+        assert torus2d(2, 4).name == "torus2d:2x4"
+        assert ring(6).name == "ring:6"
+
+    def test_dict_round_trip(self):
+        spec = torus2d(2, 4, link_bandwidth=1e9, hop_latency=1e-6)
+        assert TopologySpec.from_dict(spec.to_dict()) == spec
+        bare = ring(8)
+        assert "link_bandwidth" not in bare.to_dict()
+        assert TopologySpec.from_dict(bare.to_dict()) == bare
+
+    def test_parse(self):
+        assert parse_topology("flat") is None
+        assert parse_topology("none") is None
+        assert parse_topology("") is None
+        assert parse_topology("ring:8") == ring(8)
+        assert parse_topology("TORUS2D:4x4") == torus2d(4, 4)
+        assert parse_topology("fattree:4") == fattree(4)
+        with pytest.raises(ValueError, match="expected KIND:DIMS"):
+            parse_topology("torus2d")
+        with pytest.raises(ValueError, match="dims"):
+            parse_topology("ring:abc")
+
+
+# -- graph shape and routing -------------------------------------------
+
+class TestNetGraph:
+    def test_shapes(self):
+        cases = {
+            "ring8": (8, 0, 16),
+            "mesh4x4": (16, 0, 48),
+            "torus4x4": (16, 0, 64),
+            "fattree4": (16, 20, 96),
+        }
+        for preset, (nodes, switches, links) in cases.items():
+            d = NetGraph(PRESETS[preset], hw.IB_CONNECTX).describe()
+            assert (d["nodes"], d["switches"], d["links"]) == (
+                nodes, switches, links), preset
+
+    def test_link_parameter_defaults(self):
+        g = NetGraph(ring(4), hw.IB_CONNECTX)
+        link = g.links[0]
+        assert link.bandwidth == hw.IB_CONNECTX.bandwidth
+        assert link.latency == hw.IB_CONNECTX.wire_latency / 2
+        tuned = NetGraph(ring(4, link_bandwidth=1e9, hop_latency=2e-6),
+                         hw.IB_CONNECTX)
+        assert tuned.links[0].bandwidth == 1e9
+        assert tuned.links[0].latency == 2e-6
+
+    def test_ring_tie_breaks_clockwise(self):
+        g = NetGraph(ring(4), hw.IB_CONNECTX)
+        assert [l.name for l in g.route(3, 1)] == ["n3>n0", "n0>n1"]
+        assert [l.name for l in g.route(0, 3)] == ["n0>n3"]
+
+    def test_torus_dimension_order_and_wraparound(self):
+        g = NetGraph(torus2d(4, 4), hw.IB_CONNECTX)
+        # 0 -> 15: X wraps 0->3 (one hop), then Y wraps 3->15 (one hop)
+        assert [l.name for l in g.route(0, 15)] == ["n0>n3", "n3>n15"]
+
+    def test_fattree_same_edge_stays_local(self):
+        g = NetGraph(fattree(4), hw.IB_CONNECTX)
+        assert [l.name for l in g.route(0, 1)] == ["h0>e0", "e0>h1"]
+        cross_pod = g.route(0, 15)
+        assert len(cross_pod) == 6
+        assert any(l.src.startswith("c") or l.dst.startswith("c")
+                   for l in cross_pod)
+
+    def test_diameters(self):
+        assert NetGraph(ring(8), hw.IB_CONNECTX).describe()[
+            "diameter_hops"] == 4
+        assert NetGraph(torus2d(4, 4), hw.IB_CONNECTX).describe()[
+            "diameter_hops"] == 4
+        assert NetGraph(mesh2d(4, 4), hw.IB_CONNECTX).describe()[
+            "diameter_hops"] == 6
+        assert NetGraph(fattree(4), hw.IB_CONNECTX).describe()[
+            "diameter_hops"] == 6
+
+    def test_ascii_art_renders(self):
+        for preset in PRESETS.values():
+            art = NetGraph(preset, hw.IB_CONNECTX).ascii_art()
+            assert art.strip()
+
+
+# -- routed fabric -----------------------------------------------------
+
+class TestRoutedFabric:
+    def test_flat_fabric_reports_zero_delay(self):
+        sim = Simulator()
+        fab = Fabric(sim, hw.IB_CONNECTX)
+        assert fab.observed_source_delay(0) == 0.0
+        assert fab.topology is None
+
+    def test_build_cluster_capacity_check(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="holds 4"):
+            build_cluster(sim, 8, hw.XEON_NODE, [hw.IB_CONNECTX],
+                          topology=ring(4))
+
+    def test_topo_rails_selects_rails(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, 4, hw.XEON_NODE,
+                                [hw.IB_CONNECTX, hw.MX_MYRI10G],
+                                topology=ring(4), topo_rails=("mx",))
+        assert isinstance(cluster.fabrics["mx"], RoutedFabric)
+        assert not isinstance(cluster.fabrics["ib"], RoutedFabric)
+        assert cluster.fabrics["mx"].topology == ring(4)
+
+    def test_multi_hop_costs_more_than_flat(self):
+        size = 65536
+        flat = run_mpi(pingpong(size), 2, config.mpich2_nmad(),
+                       cluster=config.ClusterSpec(n_nodes=4))
+        routed = run_mpi(pingpong(size), 2, config.mpich2_nmad(),
+                         cluster=config.ClusterSpec(n_nodes=4,
+                                                    topology=ring(4)))
+        assert routed.elapsed > flat.elapsed
+
+    def test_links_contend(self):
+        """Two frames crossing one link serialize; stats record it."""
+        sim = Simulator()
+        fab = RoutedFabric(sim, hw.IB_CONNECTX, ring(4))
+        for node in range(4):
+            fab.attach(node)
+        got = []
+        fab.nic(2)._deliver = lambda f: got.append((sim.now, f))
+        # both frames need link n1>n2 at t=0: the second queues
+        fab.deliver(Frame(src=1, dst=2, size=4096))
+        fab.deliver(Frame(src=1, dst=2, size=4096))
+        sim.run()
+        assert len(got) == 2
+        link = fab.graph._link("n1", "n2")
+        assert link.frames == 2
+        assert link.max_queued == 2
+        assert link.queue_delay > 0
+        assert got[1][0] > got[0][0]
+
+    def test_background_traffic_requires_routed_fabric(self):
+        sim = Simulator()
+        flat = Fabric(sim, hw.IB_CONNECTX)
+        with pytest.raises(TypeError, match="RoutedFabric"):
+            BackgroundTraffic(flat, 0, 1, 4096, 1e-6, 1)
+        fab = RoutedFabric(sim, hw.IB_CONNECTX, ring(4))
+        with pytest.raises(ValueError):
+            BackgroundTraffic(fab, 0, 1, 4096, 0.0, 1)
+
+    def test_background_traffic_congests_but_never_delivers(self):
+        sim = Simulator()
+        fab = RoutedFabric(sim, hw.IB_CONNECTX, ring(4))
+        for node in range(4):
+            fab.attach(node)
+        delivered = []
+        fab.nic(1)._deliver = lambda f: delivered.append(f)
+        bg = BackgroundTraffic(fab, src=3, dst=1, size=1 << 20,
+                               period=1e-5, count=10).install()
+        sim.run()
+        assert bg.injected == 10
+        assert delivered == []       # pure interference
+        # ring 3->1 ties and breaks clockwise: 3->0->1 charges n0>n1
+        assert fab.graph._link("n0", "n1").frames == 10
+
+    def test_observed_delay_ewma_rises_under_congestion(self):
+        sim = Simulator()
+        fab = RoutedFabric(sim, hw.IB_CONNECTX, ring(4))
+        for node in range(4):
+            fab.attach(node)
+        fab.nic(1)._deliver = lambda f: None
+        BackgroundTraffic(fab, src=3, dst=1, size=1 << 20,
+                          period=1e-5, count=50).install()
+        assert fab.observed_source_delay(0) == 0.0
+        # probe once the interference backlog occupies n0>n1 (each 1 MiB
+        # bg frame serializes for ~700 us, so the link saturates early)
+        for i in range(4):
+            sim.at(2e-3 + i * 2e-3, fab.deliver,
+                   Frame(src=0, dst=1, size=65536))
+        sim.run()
+        assert fab.observed_source_delay(0) > 0.0
+        assert fab.observed_source_delay(2) == 0.0   # other sources clean
+
+    def test_link_report_lists_only_used_links(self):
+        sim = Simulator()
+        fab = RoutedFabric(sim, hw.IB_CONNECTX, torus2d(2, 2))
+        for node in range(4):
+            fab.attach(node)
+        fab.nic(3)._deliver = lambda f: None
+        fab.deliver(Frame(src=0, dst=3, size=4096))
+        sim.run()
+        report = fab.link_report()
+        assert report
+        assert all(row["frames"] > 0 for row in report)
+        names = [row["link"] for row in report]
+        assert names == sorted(names)

@@ -1,0 +1,132 @@
+"""Property tests (hypothesis) for routed-fabric route computation.
+
+The routing contracts:
+
+* every route is a contiguous chain from the source's attachment point
+  to the destination's, with no repeated vertex (loop-free);
+* mesh/torus dimension-ordered routes are minimal: their hop count
+  equals the (wraparound-aware) Manhattan distance;
+* ring routes take the shorter direction;
+* fat-tree up/down routes never bounce (up links never follow a down
+  link) and stay within the 2/4/6-hop shape of a 3-level tree;
+* routing is deterministic: the same (src, dst) always yields the
+  same links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import presets as hw
+from repro.hardware.netgraph import (
+    NetGraph,
+    TopologySpec,
+    fattree,
+    mesh2d,
+    ring,
+    torus2d,
+)
+
+dims_st = st.tuples(st.integers(min_value=2, max_value=5),
+                    st.integers(min_value=2, max_value=5))
+
+
+def _graph(spec: TopologySpec) -> NetGraph:
+    return NetGraph(spec, hw.IB_CONNECTX)
+
+
+def _endpoints(draw, capacity: int) -> Tuple[int, int]:
+    src = draw(st.integers(min_value=0, max_value=capacity - 1))
+    dst = draw(st.integers(min_value=0, max_value=capacity - 1))
+    return src, dst
+
+
+def _check_chain(graph: NetGraph, src: int, dst: int) -> List:
+    """Common structural invariants; returns the route."""
+    route = graph.route(src, dst)
+    if src == dst:
+        assert route == []
+        return route
+    assert route[0].src == graph.attachment(src)
+    assert route[-1].dst == graph.attachment(dst)
+    for a, b in zip(route, route[1:]):
+        assert a.dst == b.src
+    vertices = [route[0].src] + [link.dst for link in route]
+    assert len(set(vertices)) == len(vertices), f"loop: {vertices}"
+    return route
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data(), st.integers(min_value=2, max_value=16))
+def test_ring_routes_minimal_and_deterministic(data, n):
+    graph = _graph(ring(n))
+    src, dst = _endpoints(data.draw, n)
+    route = _check_chain(graph, src, dst)
+    forward = (dst - src) % n
+    assert len(route) == min(forward, n - forward)
+    again = graph.route(src, dst)
+    assert [link.name for link in route] == [link.name for link in again]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data(), dims_st)
+def test_mesh_dimension_ordered_routes_are_minimal(data, dims):
+    rows, cols = dims
+    graph = _graph(mesh2d(rows, cols))
+    src, dst = _endpoints(data.draw, rows * cols)
+    route = _check_chain(graph, src, dst)
+    manhattan = (abs(src // cols - dst // cols)
+                 + abs(src % cols - dst % cols))
+    assert len(route) == manhattan
+    # dimension order: all X-dimension (column-changing) hops first
+    cols_of = [int(v[1:]) % cols for v in
+               ([route[0].src] if route else []) + [l.dst for l in route]]
+    x_moves = [a != b for a, b in zip(cols_of, cols_of[1:])]
+    assert x_moves == sorted(x_moves, reverse=True)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data(), dims_st)
+def test_torus_routes_are_minimal_with_wraparound(data, dims):
+    rows, cols = dims
+    graph = _graph(torus2d(rows, cols))
+    src, dst = _endpoints(data.draw, rows * cols)
+    route = _check_chain(graph, src, dst)
+    dr = abs(src // cols - dst // cols)
+    dc = abs(src % cols - dst % cols)
+    assert len(route) == min(dr, rows - dr) + min(dc, cols - dc)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data(), st.sampled_from([2, 4, 6]))
+def test_fattree_updown_routes_are_loop_free(data, k):
+    graph = _graph(fattree(k))
+    capacity = k ** 3 // 4
+    src, dst = _endpoints(data.draw, capacity)
+    route = _check_chain(graph, src, dst)
+    if src == dst:
+        return
+    # up/down shape: 2 hops within an edge switch, 4 within a pod,
+    # 6 across pods — and never an up hop after a down hop
+    assert len(route) in (2, 4, 6)
+    rank = {"h": 0, "e": 1, "a": 2, "c": 3}
+    levels = [rank[v[0]] for v in
+              [route[0].src] + [link.dst for link in route]]
+    peak = levels.index(max(levels))
+    assert levels[:peak + 1] == sorted(levels[:peak + 1])
+    assert levels[peak:] == sorted(levels[peak:], reverse=True)
+    again = graph.route(src, dst)
+    assert [link.name for link in route] == [link.name for link in again]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data(), dims_st)
+def test_routes_reach_every_pair(data, dims):
+    """Connectivity: a route exists for any ordered pair (torus)."""
+    rows, cols = dims
+    graph = _graph(torus2d(rows, cols))
+    src, dst = _endpoints(data.draw, rows * cols)
+    route = graph.route(src, dst)
+    assert (route == []) == (src == dst)

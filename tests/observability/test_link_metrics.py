@@ -1,0 +1,105 @@
+"""The ``link.*`` layer: taxonomy, live metrics, and export labels."""
+
+from __future__ import annotations
+
+from repro import config
+from repro.hardware.netgraph import ring
+from repro.observability import (
+    ALL_LAYERS,
+    CATEGORIES,
+    LINK_LAYERS,
+    attach_metrics,
+    entity_of,
+    layer_of,
+)
+from repro.runtime import run_mpi
+from repro.simulator import Trace
+
+SIZE = 65536
+
+
+def _traced_routed_run():
+    trace = Trace()
+    metrics = attach_metrics(trace)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, size=SIZE)
+            yield from comm.recv(src=1, tag=2)
+        elif comm.rank == 1:
+            yield from comm.recv(src=0, tag=1)
+            yield from comm.send(0, tag=2, size=SIZE)
+
+    run_mpi(program, 2, config.mpich2_nmad(),
+            cluster=config.ClusterSpec(n_nodes=4, topology=ring(4)),
+            trace=trace)
+    return trace, metrics
+
+
+def test_link_layer_is_documented():
+    assert "link" in ALL_LAYERS
+    assert LINK_LAYERS == ("link",)
+    assert layer_of("link.xmit") == "link"
+    assert "link.xmit" in CATEGORIES
+
+
+def test_routed_run_emits_only_documented_link_categories():
+    trace, _metrics = _traced_routed_run()
+    emitted = {rec.category for rec in trace.records}
+    assert "link.xmit" in emitted
+    assert emitted <= set(CATEGORIES)
+
+
+def test_link_records_carry_hop_context():
+    trace, _metrics = _traced_routed_run()
+    recs = [r for r in trace.records if r.category == "link.xmit"]
+    for rec in recs:
+        for key in ("rail", "link", "dur", "queued", "depth", "hop", "hops"):
+            assert key in rec.data
+        assert 0 <= rec.data["hop"] < rec.data["hops"]
+
+
+def test_entity_of_names_the_link_not_a_rank():
+    trace, _metrics = _traced_routed_run()
+    rec = next(r for r in trace.records if r.category == "link.xmit")
+    label = entity_of("link.xmit", rec.data)
+    assert label == f"{rec.data['rail']} {rec.data['link']}"
+    assert not label.startswith("rank")
+
+
+def test_trace_metrics_aggregate_link_traffic():
+    trace, metrics = _traced_routed_run()
+    registry = metrics.registry
+    labels = registry.labels_of("link.frames")
+    assert labels, "routed traffic must populate per-link instruments"
+    recs = [r for r in trace.records if r.category == "link.xmit"]
+    total = sum(registry.counter("link.frames", label).value
+                for label in labels)
+    assert total == len(recs)
+    busy = sum(registry.counter("link.busy_time", label).value
+               for label in labels)
+    assert busy > 0
+    for label in labels:
+        assert registry.gauge("link.queue_depth", label).high >= 1
+
+
+def test_hottest_links_ranked_and_bounded():
+    _trace, metrics = _traced_routed_run()
+    hot = metrics.hottest_links(3)
+    assert 0 < len(hot) <= 3
+    for row in hot.values():
+        assert set(row) == {"queue_delay", "busy_time", "max_depth"}
+
+
+def test_flat_run_emits_no_link_records():
+    trace = Trace()
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, size=SIZE)
+        else:
+            yield from comm.recv(src=0, tag=1)
+
+    run_mpi(program, 2, config.mpich2_nmad(),
+            cluster=config.xeon_pair(), trace=trace)
+    assert not any(r.category.startswith("link.") for r in trace.records)
