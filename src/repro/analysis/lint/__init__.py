@@ -7,7 +7,8 @@ mechanisms, mirroring real-world linters:
 inline pragma
     ``# repro-lint: allow`` on the offending line silences every rule
     for that line; ``# repro-lint: allow[RPR001,RPR004]`` silences only
-    the listed codes.
+    the listed codes.  On a comment-only line the pragma also covers
+    the next line (for justifications that don't fit inline).
 
 baseline file
     A checked-in JSON file of violation fingerprints
@@ -21,40 +22,20 @@ baseline file
 from __future__ import annotations
 
 import ast
-import hashlib
-import json
 import os
-import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.lint.rules import RULES, Module, Rule
+from repro.analysis.reporting import (Violation, apply_baseline,
+                                      baseline_counts, load_baseline,
+                                      normalize_path, parse_pragmas,
+                                      save_baseline as _save_baseline,
+                                      suppressed_by_pragma)
 
 __all__ = ["Violation", "LintResult", "RULES", "lint_source", "lint_file",
            "run_lint", "load_baseline", "baseline_counts", "save_baseline",
-           "default_target"]
-
-_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow(?:\[([A-Z0-9, ]+)\])?")
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One rule finding at one source location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-    snippet: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-    def fingerprint(self) -> str:
-        """Stable identity for the baseline: path + code + source text."""
-        key = f"{_normalize(self.path)}|{self.code}|{self.snippet}"
-        return hashlib.sha1(key.encode()).hexdigest()[:16]
+           "default_target", "rule_catalog"]
 
 
 @dataclass
@@ -70,23 +51,9 @@ class LintResult:
         return not self.violations
 
 
-def _normalize(path: str) -> str:
-    """Posix path rooted at ``repro/`` so results match from any cwd."""
-    posix = path.replace(os.sep, "/")
-    marker = posix.rfind("repro/")
-    return posix[marker:] if marker >= 0 else posix.rsplit("/", 1)[-1]
-
-
-def _pragmas(lines: Sequence[str]) -> Dict[int, Optional[frozenset]]:
-    """line number -> allowed codes (None = all codes allowed)."""
-    out: Dict[int, Optional[frozenset]] = {}
-    for i, text in enumerate(lines, start=1):
-        m = _PRAGMA.search(text)
-        if m:
-            codes = m.group(1)
-            out[i] = (frozenset(c.strip() for c in codes.split(","))
-                      if codes else None)
-    return out
+def rule_catalog(rules: Sequence[Rule] = RULES) -> List[tuple]:
+    """``(code, summary)`` pairs for the SARIF rule listing."""
+    return [(rule.code, rule.summary) for rule in rules]
 
 
 def lint_source(source: str, path: str = "<string>",
@@ -94,16 +61,15 @@ def lint_source(source: str, path: str = "<string>",
     """Lint one source string; raises SyntaxError on unparsable input."""
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
-    mod = Module(path=path, rel=_normalize(path), tree=tree, lines=lines)
-    pragmas = _pragmas(lines)
+    mod = Module(path=path, rel=normalize_path(path), tree=tree, lines=lines)
+    pragmas = parse_pragmas(lines, tool="repro-lint")
 
     found: List[Violation] = []
     for rule in rules:
         if rule.allowed(mod.rel):
             continue
         for line, col, message in rule.visit(mod):
-            allowed = pragmas.get(line, False)
-            if allowed is None or (allowed and rule.code in allowed):
+            if suppressed_by_pragma(pragmas, line, rule.code):
                 continue
             snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
             found.append(Violation(path=path, line=line, col=col,
@@ -139,35 +105,12 @@ def default_target() -> str:
 
 
 # ----------------------------------------------------------------------
-# Baseline
+# Baseline (shared machinery lives in repro.analysis.reporting)
 # ----------------------------------------------------------------------
-def load_baseline(path: str) -> Dict[str, int]:
-    """fingerprint -> allowed count.  Missing file = empty baseline."""
-    if not os.path.exists(path):
-        return {}
-    with open(path, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
-    return {str(k): int(v) for k, v in data.get("fingerprints", {}).items()}
-
-
-def baseline_counts(violations: Iterable[Violation]) -> Dict[str, int]:
-    counts: Dict[str, int] = {}
-    for violation in violations:
-        fp = violation.fingerprint()
-        counts[fp] = counts.get(fp, 0) + 1
-    return counts
-
-
 def save_baseline(path: str, violations: Iterable[Violation]) -> None:
-    payload = {
-        "comment": "repro lint baseline; regenerate with "
-                   "`repro lint --update-baseline`",
-        "version": 1,
-        "fingerprints": dict(sorted(baseline_counts(violations).items())),
-    }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    _save_baseline(path, violations,
+                   comment="repro lint baseline; regenerate with "
+                           "`repro lint --update-baseline`")
 
 
 def run_lint(paths: Optional[Sequence[str]] = None,
@@ -178,16 +121,6 @@ def run_lint(paths: Optional[Sequence[str]] = None,
     found: List[Violation] = []
     for path in files:
         found.extend(lint_file(path, rules=rules))
-
-    remaining = dict(baseline or {})
-    fresh: List[Violation] = []
-    suppressed: List[Violation] = []
-    for violation in found:
-        fp = violation.fingerprint()
-        if remaining.get(fp, 0) > 0:
-            remaining[fp] -= 1
-            suppressed.append(violation)
-        else:
-            fresh.append(violation)
+    fresh, suppressed = apply_baseline(found, baseline)
     return LintResult(violations=fresh, baselined=suppressed,
                       files=len(files))

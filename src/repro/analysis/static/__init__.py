@@ -1,0 +1,110 @@
+"""The whole-package static effect & contract checker (``repro check``).
+
+Where ``repro lint`` inspects one file at a time, this package builds
+an interprocedural view of all of ``src/repro``:
+
+1. :mod:`~repro.analysis.static.callgraph` parses every module and
+   resolves calls, method dispatch, imports/re-exports, lambdas and
+   callback registrations into one :class:`CallGraph`;
+2. :mod:`~repro.analysis.static.effects` infers per-function effects
+   (blocking, yielding, host-clock, RNG, trace emission, shared-state
+   mutation) and propagates them callee-to-caller to a fixpoint, with
+   the audited ``hostclock``/``rng_stream`` funnels absorbing their raw
+   effects;
+3. :mod:`~repro.analysis.static.contracts` enforces the package-wide
+   contracts (RPC001–RPC006) and offers an advisory dead-code report.
+
+Suppression mirrors the lint exactly, via the shared
+:mod:`repro.analysis.reporting` machinery: inline
+``# repro-check: allow[RPC...]`` pragmas and a checked-in fingerprint
+baseline (``.repro-check-baseline.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.reporting import (Violation, apply_baseline,
+                                      parse_pragmas,
+                                      save_baseline as _save_baseline,
+                                      suppressed_by_pragma)
+from repro.analysis.static.callgraph import (CallGraph, FunctionInfo,
+                                             build_package)
+from repro.analysis.static.contracts import (CONTRACTS, contract_catalog,
+                                             dead_public_functions,
+                                             run_contracts)
+from repro.analysis.static.effects import EffectAnalysis
+
+__all__ = ["CheckResult", "CONTRACTS", "contract_catalog", "check_package",
+           "run_check", "save_baseline", "default_target"]
+
+PRAGMA_TOOL = "repro-check"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one ``repro check`` run."""
+
+    violations: List[Violation]          # actionable findings
+    baselined: List[Violation]           # suppressed by the baseline
+    files: int
+    graph: CallGraph
+    analysis: EffectAnalysis
+    dead: List[FunctionInfo] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def default_target() -> str:
+    from repro.analysis.lint import default_target as lint_target
+
+    return lint_target()
+
+
+def save_baseline(path: str, violations: List[Violation]) -> None:
+    _save_baseline(path, violations,
+                   comment="repro check baseline; regenerate with "
+                           "`repro check --update-baseline`")
+
+
+def _drop_pragma_suppressed(graph: CallGraph,
+                            found: List[Violation]) -> List[Violation]:
+    pragmas_by_path: Dict[str, Dict[int, Optional[frozenset]]] = {}
+    for name in sorted(graph.modules):
+        mod = graph.modules[name]
+        pragmas_by_path[mod.path] = parse_pragmas(mod.lines,
+                                                  tool=PRAGMA_TOOL)
+    kept: List[Violation] = []
+    for violation in found:
+        pragmas = pragmas_by_path.get(violation.path, {})
+        if not suppressed_by_pragma(pragmas, violation.line,
+                                    violation.code):
+            kept.append(violation)
+    return kept
+
+
+def check_package(root: str, dead_code: bool = False,
+                  ) -> Tuple[List[Violation], CallGraph, EffectAnalysis,
+                             List[FunctionInfo]]:
+    """Analyze the package at ``root``; pragma suppression applied."""
+    graph = build_package(root)
+    analysis = EffectAnalysis(graph)
+    found = _drop_pragma_suppressed(graph, run_contracts(graph, analysis))
+    dead = dead_public_functions(graph) if dead_code else []
+    return found, graph, analysis, dead
+
+
+def run_check(root: Optional[str] = None,
+              baseline: Optional[Dict[str, int]] = None,
+              dead_code: bool = False) -> CheckResult:
+    """Check ``root`` (default: the installed repro package)."""
+    target = root or default_target()
+    found, graph, analysis, dead = check_package(target,
+                                                 dead_code=dead_code)
+    fresh, suppressed = apply_baseline(found, baseline)
+    return CheckResult(violations=fresh, baselined=suppressed,
+                       files=len(graph.modules), graph=graph,
+                       analysis=analysis, dead=dead)

@@ -1,0 +1,638 @@
+"""Whole-package call-graph construction for the static analyzer.
+
+Parses every module of a package into one :class:`CallGraph`: functions
+(module-level defs, methods, named lambdas, nested defs) as nodes, and
+resolved call/reference sites as edges.  Resolution is *conservative*:
+
+* direct calls resolve through module scope, imports and re-export
+  chains (``from repro.x import y`` in an ``__init__`` forwards);
+* ``self.m()`` / ``cls.m()`` resolves through the class hierarchy —
+  the defining class, its in-package bases, **and** its subclasses
+  (dynamic dispatch may land on any override);
+* ``obj.m()`` on an unknown receiver resolves *by name* to every
+  in-package method called ``m`` (an over-approximation that keeps
+  effect propagation sound at the cost of precision);
+* a function name mentioned outside a call position (passed as a
+  callback, used as a decorator) becomes a ``ref`` edge, and the
+  surrounding registration call is kept so contract passes can find
+  subscriber/handler roots.
+
+The graph never imports the analyzed code — everything is AST-only, so
+``repro check`` can run on broken or partial trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "Edge", "Registration",
+           "CallGraph", "build_package", "iter_package_files",
+           "iter_functions"]
+
+#: call-argument attribute names that register a callback to be invoked
+#: later from a non-process context (trace subscribers, event handlers)
+CALLBACK_REGISTRARS = ("subscribe", "add_done_callback")
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/lambda definition in the package."""
+
+    qname: str                     # repro.nmad.core.NmadCore.post_pw
+    module: str                    # repro.nmad.core
+    name: str                      # post_pw
+    cls: Optional[str]             # enclosing class qname, or None
+    path: str
+    line: int
+    node: ast.AST
+    decorators: Tuple[str, ...] = ()
+    is_lambda: bool = False
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def is_dunder(self) -> bool:
+        return self.name.startswith("__") and self.name.endswith("__")
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its in-package base links."""
+
+    qname: str
+    module: str
+    name: str
+    path: str
+    line: int
+    bases: Tuple[str, ...] = ()            # resolved base qnames (in-package)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    lines: List[str]
+    imports: Dict[str, str] = field(default_factory=dict)  # alias -> target
+    exports: Tuple[str, ...] = ()                          # __all__ names
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call or reference site."""
+
+    caller: str                    # qname of the calling function
+    callee: str                    # qname of the target function
+    line: int
+    kind: str                      # "call" | "ref"
+
+
+@dataclass(frozen=True)
+class Registration:
+    """A function passed into a callback-registering call.
+
+    ``via`` is the attribute name of the registering call (e.g.
+    ``subscribe``); ``callback`` the resolved function qname.
+    """
+
+    via: str
+    callback: str
+    caller: str
+    path: str
+    line: int
+
+
+def iter_package_files(root: str) -> List[Tuple[str, str]]:
+    """``(module_name, path)`` for every ``.py`` under package dir ``root``.
+
+    ``root`` is the package directory itself (e.g. ``src/repro``); the
+    package name is its basename.
+    """
+    root = os.path.abspath(root)
+    package = os.path.basename(root.rstrip(os.sep))
+    out: List[Tuple[str, str]] = []
+    for dirpath, dirs, files in os.walk(root):
+        dirs.sort()
+        rel = os.path.relpath(dirpath, root)
+        parts = [] if rel == "." else rel.split(os.sep)
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            if fname == "__init__.py":
+                mod = ".".join([package] + parts)
+            else:
+                mod = ".".join([package] + parts + [fname[:-3]])
+            out.append((mod, path))
+    return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallGraph:
+    """The package-wide graph; see the module docstring for semantics."""
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: Dict[str, List[Edge]] = {}
+        self.callers: Dict[str, List[Edge]] = {}
+        self.registrations: List[Registration] = []
+        #: attribute / plain names mentioned anywhere (name-based
+        #: liveness evidence for the dead-code pass)
+        self.mentioned_names: Set[str] = set()
+        #: methods by bare name (dynamic-dispatch approximation)
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: subclasses per class qname
+        self._subclasses: Dict[str, List[str]] = {}
+
+    # -- queries --------------------------------------------------------
+    def function(self, qname: str) -> FunctionInfo:
+        return self.functions[qname]
+
+    def methods_named(self, name: str) -> List[str]:
+        return list(self._methods_by_name.get(name, ()))
+
+    def calls_from(self, qname: str) -> List[Edge]:
+        return self.edges.get(qname, [])
+
+    def calls_to(self, qname: str) -> List[Edge]:
+        return self.callers.get(qname, [])
+
+    def overrides_of(self, cls_qname: str, method: str) -> List[str]:
+        """``method`` resolved over the class, its bases and subclasses."""
+        found: List[str] = []
+        seen: Set[str] = set()
+        frontier = [cls_qname]
+        # walk up through bases and down through subclasses
+        while frontier:
+            cq = frontier.pop()
+            if cq in seen:
+                continue
+            seen.add(cq)
+            info = self.classes.get(cq)
+            if info is None:
+                continue
+            fn = info.methods.get(method)
+            if fn is not None:
+                found.append(fn.qname)
+            frontier.extend(info.bases)
+            frontier.extend(self._subclasses.get(cq, ()))
+        return found
+
+    def reachable(self, roots: Sequence[str],
+                  kinds: Tuple[str, ...] = ("call", "ref")) -> Set[str]:
+        """Every function reachable from ``roots`` along edge ``kinds``."""
+        seen: Set[str] = set()
+        frontier = [r for r in roots if r in self.functions]
+        while frontier:
+            qname = frontier.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            for edge in self.edges.get(qname, ()):
+                if edge.kind in kinds and edge.callee not in seen:
+                    frontier.append(edge.callee)
+        return seen
+
+    def module_entry(self, module: str) -> str:
+        """qname of the pseudo-function holding module-level code."""
+        return f"{module}.<module>"
+
+    # -- construction ---------------------------------------------------
+    def _add_edge(self, edge: Edge) -> None:
+        self.edges.setdefault(edge.caller, []).append(edge)
+        self.callers.setdefault(edge.callee, []).append(edge)
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions[info.qname] = info
+        if info.cls is not None:
+            self._methods_by_name.setdefault(info.name, []).append(info.qname)
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class _ModuleCollector:
+    """First pass: collect defs, classes, imports of one module."""
+
+    def __init__(self, graph: CallGraph, mod: ModuleInfo) -> None:
+        self.graph = graph
+        self.mod = mod
+
+    def collect(self) -> None:
+        self._imports(self.mod.tree)
+        self._exports(self.mod.tree)
+        entry = FunctionInfo(
+            qname=self.graph.module_entry(self.mod.name),
+            module=self.mod.name, name="<module>", cls=None,
+            path=self.mod.path, line=1, node=self.mod.tree)
+        self.graph._add_function(entry)
+        self._scope(self.mod.tree.body, prefix=self.mod.name, cls=None)
+
+    def _imports(self, tree: ast.Module) -> None:
+        pkg_parts = self.mod.name.split(".")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.mod.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # relative import: resolve against this module's package
+                    base_parts = pkg_parts[:-node.level] \
+                        if not self.mod.path.endswith("__init__.py") \
+                        else pkg_parts[:len(pkg_parts) - node.level + 1]
+                    base = ".".join(base_parts)
+                    module = f"{base}.{node.module}" if node.module else base
+                else:
+                    module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.mod.imports[bound] = f"{module}.{alias.name}"
+
+    def _exports(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == "__all__" \
+                    and isinstance(node.value, (ast.List, ast.Tuple)):
+                names = [elt.value for elt in node.value.elts
+                         if isinstance(elt, ast.Constant)
+                         and isinstance(elt.value, str)]
+                self.mod.exports = tuple(names)
+
+    def _scope(self, body: Sequence[ast.stmt], prefix: str,
+               cls: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, prefix, cls)
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt, prefix)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Lambda):
+                name = stmt.targets[0].id
+                info = FunctionInfo(
+                    qname=f"{prefix}.{name}", module=self.mod.name,
+                    name=name, cls=cls, path=self.mod.path,
+                    line=stmt.lineno, node=stmt.value, is_lambda=True)
+                self.graph._add_function(info)
+                if cls is not None:
+                    self.graph.classes[cls].methods[name] = info
+
+    def _function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                  prefix: str, cls: Optional[str]) -> None:
+        decorators = tuple(d for d in (_dotted(dec) for dec in
+                                       node.decorator_list) if d)
+        info = FunctionInfo(
+            qname=f"{prefix}.{node.name}", module=self.mod.name,
+            name=node.name, cls=cls, path=self.mod.path,
+            line=node.lineno, node=node, decorators=decorators)
+        self.graph._add_function(info)
+        if cls is not None:
+            self.graph.classes[cls].methods[node.name] = info
+        # nested defs/classes are functions in their own right
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, f"{prefix}.{node.name}", None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt, f"{prefix}.{node.name}")
+
+    def _class(self, node: ast.ClassDef, prefix: str) -> None:
+        qname = f"{prefix}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            d = _dotted(base)
+            if d:
+                bases.append(d)      # resolved to qnames in a later pass
+        self.graph.classes[qname] = ClassInfo(
+            qname=qname, module=self.mod.name, name=node.name,
+            path=self.mod.path, line=node.lineno, bases=tuple(bases))
+        self._scope(node.body, prefix=qname, cls=qname)
+
+
+class _Resolver:
+    """Second pass: resolve names, link bases, emit edges."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve_symbol(self, module: str, name: str,
+                       _depth: int = 0) -> Optional[str]:
+        """Resolve dotted ``name`` used inside ``module`` to a package
+        qname (function, class or module), following import chains."""
+        if _depth > 16:           # re-export cycle guard
+            return None
+        graph = self.graph
+        head, _, rest = name.partition(".")
+        mod = graph.modules.get(module)
+        target: Optional[str] = None
+        if mod is not None and head in mod.imports:
+            target = mod.imports[head]
+        elif f"{module}.{head}" in graph.functions \
+                or f"{module}.{head}" in graph.classes:
+            target = f"{module}.{head}"
+        elif head == graph.package or head in graph.modules:
+            target = head
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        return self._canonical(full, _depth)
+
+    def _canonical(self, qname: str, _depth: int) -> Optional[str]:
+        """Chase ``qname`` through modules/re-exports to a definition."""
+        graph = self.graph
+        if qname in graph.functions or qname in graph.classes:
+            return qname
+        if qname in graph.modules:
+            return qname
+        # split into the longest known module prefix + remainder
+        parts = qname.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in graph.modules:
+                rest = ".".join(parts[i:])
+                resolved = self.resolve_symbol(prefix, rest,
+                                               _depth=_depth + 1)
+                if resolved is not None:
+                    return resolved
+                break
+        if not qname.startswith(graph.package + "."):
+            return None          # external symbol
+        return None
+
+    def link_bases(self) -> None:
+        """Rewrite raw base names into class qnames; index subclasses."""
+        for qname in sorted(self.graph.classes):
+            info = self.graph.classes[qname]
+            resolved: List[str] = []
+            for base in info.bases:
+                target = self.resolve_symbol(info.module, base)
+                if target is not None and target in self.graph.classes:
+                    resolved.append(target)
+                    self.graph._subclasses.setdefault(target, []).append(qname)
+            info.bases = tuple(resolved)
+
+    # -- edge emission --------------------------------------------------
+    def resolve_all(self) -> None:
+        for mod_name in sorted(self.graph.modules):
+            mod = self.graph.modules[mod_name]
+            self._walk_scope(mod, self.graph.module_entry(mod_name),
+                             mod.tree.body, cls=None, locals_=set())
+
+    def _walk_scope(self, mod: ModuleInfo, owner: str,
+                    body: Sequence[ast.stmt], cls: Optional[str],
+                    locals_: Set[str]) -> None:
+        """Emit edges for statements executing in function ``owner``."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = self._owner_of(owner, cls, stmt.name, mod)
+                for dec in stmt.decorator_list:
+                    self._expr(mod, owner, cls, dec, locals_)
+                self._walk_scope(mod, inner, stmt.body, cls=None,
+                                 locals_=locals_ | self._params(stmt))
+            elif isinstance(stmt, ast.ClassDef):
+                inner_cls = self._class_qname(owner, cls, stmt.name, mod)
+                for dec in stmt.decorator_list:
+                    self._expr(mod, owner, cls, dec, locals_)
+                self._walk_scope(mod, owner, stmt.body, cls=inner_cls,
+                                 locals_=locals_)
+            else:
+                stack: List[ast.AST] = [stmt]
+                while stack:
+                    node = stack.pop()
+                    if isinstance(node, ast.Lambda):
+                        # the lambda body executes later, in its own node
+                        lam = self._lambda_owner(owner, cls, stmt, mod, node)
+                        self._expr_body(mod, lam, cls, node.body,
+                                        locals_ | {a.arg for a in
+                                                   node.args.args})
+                        continue
+                    if isinstance(node, ast.Call):
+                        self._call(mod, owner, cls, node, locals_)
+                    elif isinstance(node, (ast.Name, ast.Attribute)):
+                        self._name_use(mod, owner, cls, node, locals_)
+                    stack.extend(ast.iter_child_nodes(node))
+
+    def _params(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                ) -> Set[str]:
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return set(names)
+
+    def _owner_of(self, owner: str, cls: Optional[str], name: str,
+                  mod: ModuleInfo) -> str:
+        if cls is not None:
+            return f"{cls}.{name}"
+        if owner.endswith(".<module>"):
+            return f"{mod.name}.{name}"
+        return f"{owner}.{name}"
+
+    def _class_qname(self, owner: str, cls: Optional[str], name: str,
+                     mod: ModuleInfo) -> str:
+        if owner.endswith(".<module>"):
+            return f"{mod.name}.{name}"
+        return f"{owner}.{name}"
+
+    def _lambda_owner(self, owner: str, cls: Optional[str], stmt: ast.stmt,
+                      mod: ModuleInfo, node: ast.Lambda) -> str:
+        # named module/class-level lambdas were registered in pass one
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and stmt.value is node:
+            qname = self._owner_of(owner, cls, stmt.targets[0].id, mod)
+            if qname in self.graph.functions:
+                return qname
+        # inline lambda: its body executes later, in its own node
+        qname = f"{owner}.<lambda@{node.lineno}>"
+        if qname not in self.graph.functions:
+            self.graph._add_function(FunctionInfo(
+                qname=qname, module=mod.name, name="<lambda>", cls=None,
+                path=mod.path, line=node.lineno, node=node, is_lambda=True))
+            self.graph._add_edge(Edge(owner, qname, node.lineno, "ref"))
+        return qname
+
+    def _expr_body(self, mod: ModuleInfo, owner: str, cls: Optional[str],
+                   expr: ast.expr, locals_: Set[str]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._call(mod, owner, cls, node, locals_)
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                self._name_use(mod, owner, cls, node, locals_)
+
+    def _expr(self, mod: ModuleInfo, owner: str, cls: Optional[str],
+              expr: ast.expr, locals_: Set[str]) -> None:
+        self._expr_body(mod, owner, cls, expr, locals_)
+
+    # -- resolution of one call/name ------------------------------------
+    def _resolve_callee(self, mod: ModuleInfo, owner: str,
+                        cls: Optional[str], func: ast.expr,
+                        locals_: Set[str]) -> List[str]:
+        """Candidate function qnames for a call's ``func`` expression."""
+        graph = self.graph
+        owner_info = graph.functions.get(owner)
+        enclosing_cls = owner_info.cls if owner_info is not None else cls
+
+        d = _dotted(func)
+        if d is not None:
+            head = d.split(".", 1)[0]
+            # self.m() / cls.m(): hierarchy-aware dispatch
+            if head in ("self", "cls") and "." in d:
+                parts = d.split(".")
+                if len(parts) == 2 and enclosing_cls is not None:
+                    candidates = graph.overrides_of(enclosing_cls, parts[1])
+                    if candidates:
+                        return candidates
+                return self._by_name(parts[-1])
+            if head in locals_:
+                return self._by_name(d.split(".")[-1]) if "." in d else []
+            resolved = self.resolve_symbol(mod.name, d)
+            if resolved is not None:
+                return self._expand(resolved)
+            if "." in d:
+                # unknown receiver: by-name dynamic dispatch
+                return self._by_name(d.split(".")[-1])
+            return []
+        if isinstance(func, ast.Attribute):
+            # computed receiver, e.g. (a or b).m() / chained calls
+            return self._by_name(func.attr)
+        return []
+
+    def _expand(self, qname: str) -> List[str]:
+        """A resolved symbol as callable targets (class -> __init__)."""
+        graph = self.graph
+        if qname in graph.functions:
+            return [qname]
+        if qname in graph.classes:
+            inits = graph.overrides_of(qname, "__init__")
+            return inits
+        return []
+
+    def _by_name(self, name: str) -> List[str]:
+        return self.graph.methods_named(name)
+
+    def _call(self, mod: ModuleInfo, owner: str, cls: Optional[str],
+              node: ast.Call, locals_: Set[str]) -> None:
+        graph = self.graph
+        for callee in self._resolve_callee(mod, owner, cls, node.func,
+                                           locals_):
+            graph._add_edge(Edge(owner, callee, node.lineno, "call"))
+        # callback registrations: resolved function arguments
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) \
+            else None
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            targets = self._func_arg_targets(mod, owner, cls, arg, locals_)
+            for target in targets:
+                graph._add_edge(Edge(owner, target, node.lineno, "ref"))
+                if attr in CALLBACK_REGISTRARS:
+                    graph.registrations.append(Registration(
+                        via=attr, callback=target, caller=owner,
+                        path=mod.path, line=node.lineno))
+
+    def _func_arg_targets(self, mod: ModuleInfo, owner: str,
+                          cls: Optional[str], arg: ast.expr,
+                          locals_: Set[str]) -> List[str]:
+        """Functions an argument expression evaluates to (refs)."""
+        graph = self.graph
+        owner_info = graph.functions.get(owner)
+        enclosing_cls = owner_info.cls if owner_info is not None else cls
+        d = _dotted(arg)
+        if d is None:
+            return []
+        head = d.split(".", 1)[0]
+        if head in ("self", "cls") and "." in d:
+            parts = d.split(".")
+            if len(parts) == 2 and enclosing_cls is not None:
+                found = graph.overrides_of(enclosing_cls, parts[1])
+                if found:
+                    return found
+            by_name = self._by_name(parts[-1])
+            return by_name
+        if head in locals_:
+            return []
+        resolved = self.resolve_symbol(mod.name, d)
+        if resolved is not None and resolved in graph.functions:
+            return [resolved]
+        return []
+
+    def _name_use(self, mod: ModuleInfo, owner: str, cls: Optional[str],
+                  node: ast.expr, locals_: Set[str]) -> None:
+        if isinstance(node, ast.Attribute):
+            self.graph.mentioned_names.add(node.attr)
+            return
+        if isinstance(node, ast.Name):
+            self.graph.mentioned_names.add(node.id)
+            if node.id in locals_:
+                return
+            resolved = self.resolve_symbol(mod.name, node.id)
+            if resolved is not None and resolved in self.graph.functions:
+                self.graph._add_edge(
+                    Edge(owner, resolved, node.lineno, "ref"))
+
+
+def build_package(root: str,
+                  files: Optional[Sequence[Tuple[str, str]]] = None,
+                  ) -> CallGraph:
+    """Parse the package at directory ``root`` into a :class:`CallGraph`.
+
+    ``files`` overrides discovery with explicit ``(module, path)`` pairs
+    (used by tests building fixture packages).
+    """
+    root = os.path.abspath(root)
+    package = os.path.basename(root.rstrip(os.sep))
+    graph = CallGraph(package)
+    for mod_name, path in (files or iter_package_files(root)):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source, filename=path)
+        graph.modules[mod_name] = ModuleInfo(
+            name=mod_name, path=path, tree=tree,
+            lines=source.splitlines())
+    for mod_name in sorted(graph.modules):
+        _ModuleCollector(graph, graph.modules[mod_name]).collect()
+    resolver = _Resolver(graph)
+    resolver.link_bases()
+    resolver.resolve_all()
+    return graph
+
+
+def iter_functions(graph: CallGraph) -> Iterator[FunctionInfo]:
+    """All real (non-pseudo) functions in deterministic order."""
+    for qname in sorted(graph.functions):
+        info = graph.functions[qname]
+        if info.name != "<module>":
+            yield info

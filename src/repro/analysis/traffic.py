@@ -13,6 +13,9 @@ from typing import Dict, List, Optional
 
 from repro.simulator import Trace
 
+__all__ = ["RailSummary", "TrafficSummary", "summarize_traffic",
+           "format_traffic", "format_timeline"]
+
 
 @dataclass
 class RailSummary:

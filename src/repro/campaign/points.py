@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
+__all__ = ["stack_ref", "Point"]
+
 
 def stack_ref(preset: str, **kw: Any) -> Dict[str, Any]:
     """A serializable reference to a stack preset.

@@ -18,6 +18,10 @@ Commands
                   plan, with goodput-degradation and recovery report
 ``lint``          determinism lint: AST rules RPR001.. over the package
                   (wall-clock, RNG, iteration-order, taxonomy hygiene)
+``check``         whole-package static contract checker: call-graph +
+                  effect propagation enforcing RPC001.. (no blocking in
+                  callbacks, audited clock/RNG funnels, race coverage,
+                  taxonomy round-trip), plus a dead-code report
 ``race``          simulated-concurrency race detector: run a preset
                   under happens-before tracking and report conflicts
 ``campaign``      parallel experiment campaign: decompose experiments
@@ -401,11 +405,30 @@ def cmd_faults(args) -> int:
     return 0 if report.exactly_once else 1
 
 
+def _emit_findings(violations, fmt: str, tool: str, rules,
+                   output: Optional[str]) -> None:
+    """Render findings in ``fmt``; text goes line-by-line to stdout."""
+    from repro.analysis.reporting import render
+
+    if fmt == "text" and output is None:
+        for violation in violations:
+            print(violation.format())
+        return
+    document = render(violations, fmt, tool, rules)
+    if output is None:
+        print(document)
+    else:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(document + "\n")
+        print(f"{fmt} report ({len(violations)} finding(s)) written "
+              f"to {output}")
+
+
 def cmd_lint(args) -> int:
     import os
 
-    from repro.analysis.lint import (RULES, load_baseline, run_lint,
-                                     save_baseline)
+    from repro.analysis.lint import (RULES, load_baseline, rule_catalog,
+                                     run_lint, save_baseline)
 
     if args.list_rules:
         for rule in RULES:
@@ -423,13 +446,67 @@ def cmd_lint(args) -> int:
         baseline_path = ".repro-lint-baseline.json"
     baseline = load_baseline(baseline_path) if baseline_path else None
     result = run_lint(paths, baseline=baseline)
-    for violation in result.violations:
-        print(violation.format())
+    _emit_findings(result.violations, args.format, "repro-lint",
+                   rule_catalog(), args.output)
     status = "clean" if result.clean else \
         f"{len(result.violations)} violation(s)"
     suppressed = f", {len(result.baselined)} baselined" if result.baselined \
         else ""
     print(f"repro lint: {result.files} file(s), {status}{suppressed}")
+    return 0 if result.clean else 1
+
+
+def cmd_check(args) -> int:
+    import os
+
+    from repro.analysis.reporting import load_baseline
+    from repro.analysis.static import (check_package, contract_catalog,
+                                       default_target, run_check,
+                                       save_baseline)
+
+    if args.list_contracts:
+        for code, summary in contract_catalog():
+            print(f"  {code}  {summary}")
+        return 0
+    root = args.root or default_target()
+    if args.update_baseline:
+        found, _graph, _analysis, _dead = check_package(root)
+        save_baseline(args.update_baseline, found)
+        print(f"baseline of {len(found)} finding(s) written "
+              f"to {args.update_baseline}")
+        return 0
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(".repro-check-baseline.json"):
+        baseline_path = ".repro-check-baseline.json"
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    result = run_check(root, baseline=baseline, dead_code=args.dead_code)
+    _emit_findings(result.violations, args.format, "repro-check",
+                   contract_catalog(), args.output)
+    if args.dead_code:
+        for info in result.dead:
+            kind = "method" if info.is_method else "function"
+            print(f"dead: {info.qname} ({kind}, {info.path}:{info.line})")
+        print(f"dead-code report: {len(result.dead)} unreachable public "
+              f"function(s)")
+    if args.stats:
+        analysis = result.analysis
+        edges = sum(len(result.graph.edges[k])
+                    for k in sorted(result.graph.edges))
+        print(f"call graph: {len(result.graph.functions)} function(s), "
+              f"{edges} edge(s), "
+              f"{len(result.graph.registrations)} callback "
+              f"registration(s) across {result.files} module(s)")
+        blocking = sum(1 for q in sorted(analysis.functions)
+                       if "BLOCKS" in analysis.functions[q].out)
+        generators = sum(1 for q in sorted(analysis.functions)
+                         if analysis.functions[q].is_generator)
+        print(f"effects: {generators} generator(s), {blocking} "
+              f"host-blocking function(s)")
+    status = "clean" if result.clean else \
+        f"{len(result.violations)} violation(s)"
+    suppressed = f", {len(result.baselined)} baselined" if result.baselined \
+        else ""
+    print(f"repro check: {result.files} module(s), {status}{suppressed}")
     return 0 if result.clean else 1
 
 
@@ -705,7 +782,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write current findings as the new baseline and exit")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="findings output format")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the findings report to a file instead of "
+                        "stdout")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("check", help="whole-package static contract "
+                                     "checker (call graph + effects)")
+    p.add_argument("root", nargs="?", default=None,
+                   help="package directory to analyze (default: the "
+                        "installed repro package)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON (default: .repro-check-baseline.json "
+                        "in the cwd when present)")
+    p.add_argument("--update-baseline", metavar="PATH", default=None,
+                   help="write current findings as the new baseline and exit")
+    p.add_argument("--list-contracts", action="store_true",
+                   help="print the contract catalog and exit")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="findings output format")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the findings report to a file instead of "
+                        "stdout")
+    p.add_argument("--dead-code", action="store_true",
+                   help="also report unreachable public functions "
+                        "(advisory; does not affect the exit status)")
+    p.add_argument("--stats", action="store_true",
+                   help="print call-graph and effect statistics")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("race", help="happens-before race detector run")
     p.add_argument("--preset", "--stack", dest="preset",

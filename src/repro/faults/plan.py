@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+__all__ = ["OutageWindow", "StallWindow", "RailFaults", "FaultPlan",
+           "named_plan"]
+
 
 @dataclass(frozen=True)
 class OutageWindow:

@@ -38,6 +38,10 @@ from repro.hardware.nic import Fabric, Frame
 from repro.hardware.params import NICParams
 from repro.simulator import Simulator
 
+__all__ = ["TopologySpec", "parse_topology", "Link", "NetGraph",
+           "RoutedFabric", "BackgroundTraffic", "ring", "mesh2d", "torus2d",
+           "fattree"]
+
 #: EWMA weight of the newest per-frame queueing sample (see
 #: :meth:`RoutedFabric.observed_source_delay`)
 _OBS_ALPHA = 0.5

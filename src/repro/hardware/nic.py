@@ -22,6 +22,8 @@ from typing import Any, Dict, Optional
 from repro.hardware.params import NICParams
 from repro.simulator import Channel, Event, Simulator
 
+__all__ = ["reset_frame_ids", "Frame", "NIC", "Fabric"]
+
 _frame_ids = itertools.count()
 
 

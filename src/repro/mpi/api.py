@@ -10,6 +10,8 @@ from repro.mpi.datatypes import CONTIGUOUS, Datatype
 from repro.mpich2.queues import ContextAnyTag
 from repro.mpich2.request import ANY_SOURCE, ANY_TAG, MPIRequest
 
+__all__ = ["Message", "Communicator", "PersistentRequest"]
+
 
 @dataclass
 class Message:

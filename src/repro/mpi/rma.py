@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+__all__ = ["GetHandle", "Window"]
+
 #: wire size of a get request / RMA header
 _CTRL = 32
 

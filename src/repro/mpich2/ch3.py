@@ -123,6 +123,7 @@ class CH3Stack(BaseStack):
                 vc.send_fn = self._send_direct
             else:
                 vc.send_fn = self._send_netmod
+            # repro-check: allow[RPC004] build-time wiring, sim not running
             self.vcs[peer] = vc
 
     def _nm_tag(self, tag: Any):

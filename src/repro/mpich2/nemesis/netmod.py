@@ -20,6 +20,8 @@ from typing import Any, Callable, Optional
 
 from repro.nmad.core import NmadCore
 
+__all__ = ["NetworkModule", "NewmadNetmod"]
+
 #: the nmad tag carrying every CH3 packet of the netmod path
 CH3_CHANNEL_TAG = "ch3"
 

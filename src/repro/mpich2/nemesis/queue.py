@@ -26,6 +26,8 @@ from typing import List
 
 from repro.simulator import Semaphore, Simulator
 
+__all__ = ["CellAllocation", "CellPool"]
+
 
 @dataclass
 class CellAllocation:

@@ -67,6 +67,7 @@ class BaseStack:
             self.pioman.submit(lambda: self._progress_item(item))
             self._wake()  # probe loops listen for arrivals too
         else:
+            self.sim.race_write(f"mpich2.inbox@r{self.rank}", "deliver")
             self.inbox.append(item)
             self._wake()
 

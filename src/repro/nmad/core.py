@@ -180,6 +180,7 @@ class NmadCore:
     def add_driver(self, driver: NmadDriver) -> None:
         driver.on_injected = self._on_pw_injected
         driver.race_name = f"nmad.pending@r{self.rank}:{driver.name}"
+        # repro-check: allow[RPC004] build-time wiring, sim not running
         self.drivers.append(driver)
         self.refresh_preferred()
 

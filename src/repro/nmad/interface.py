@@ -18,6 +18,8 @@ from repro.nmad.core import NmadCore
 from repro.nmad.request import NmadRequest
 from repro.simulator import Simulator
 
+__all__ = ["SendRecvInterface"]
+
 
 class SendRecvInterface:
     """``nm_sr_*`` flavoured API over a NewMadeleine core."""

@@ -12,6 +12,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Union
 
+__all__ = ["next_rdv_id", "reset_ids", "EagerEntry", "RtsEntry", "CtsEntry",
+           "DataEntry", "entry_wire_size", "PacketWrapper"]
+
 _pw_ids = itertools.count()
 _rdv_ids = itertools.count()
 

@@ -132,6 +132,7 @@ class DefaultStrategy:
     def _build_pw(self, driver: NmadDriver) -> Optional[PacketWrapper]:
         if not self.queue:
             return None
+        self.core.sim.race_write(self._rv_queue)
         item = self.queue.popleft()
         pw = self._new_pw(item)
         pw.append(self._to_entry(item))

@@ -14,6 +14,8 @@ from typing import Callable, List, Sequence, Tuple
 
 from repro.nmad.drivers.base import NmadDriver
 
+__all__ = ["NetworkSampler"]
+
 
 class NetworkSampler:
     """Computes split shares and rail preference from sampled rates."""

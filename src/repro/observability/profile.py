@@ -46,6 +46,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.observability.taxonomy import entity_of, layer_of
 from repro.simulator.tracing import Trace, TraceRecord
 
+__all__ = ["Span", "SpanProfiler", "profile_trace"]
+
 #: matching key of one open span: (entity, category stem, op discriminator)
 _OpenKey = Tuple[str, str, Any]
 

@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+__all__ = ["LAYERS", "CATEGORIES", "layer_of", "entity_of",
+           "categories_of_layer"]
+
 #: layer track order (bottom-up through the stack).  These five always
 #: appear in a plain traced run; fault/reliability layers are separate
 #: (they only emit under a fault plan / reliability-armed spec).

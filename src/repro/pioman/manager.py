@@ -69,6 +69,8 @@ class PIOMan:
         The generator executes on the PIOMan worker thread while it
         holds a core; its simulated duration is whatever it yields.
         """
+        self.sim.race_write(f"pioman.queue@n{self.scheduler.node_id}",
+                            "submit")
         self._queue.append(work)
         if not self._worker_running:
             self._worker_running = True

@@ -34,6 +34,8 @@ from repro.simulator.errors import DeadlockError, SimulationError
 from repro.simulator.hostclock import host_clock
 from repro.simulator.tracing import Trace
 
+__all__ = ["ScheduledCallback", "Simulator"]
+
 #: heap entries are (time, seq, handle) or (time, seq, fn, args)
 _HeapEntry = Tuple[Any, ...]
 

@@ -14,6 +14,8 @@ from typing import Any, Generator, Optional
 from repro.simulator.errors import Interrupt, SimulationError
 from repro.simulator.events import Event
 
+__all__ = ["Task"]
+
 
 class Task(Event):
     """A running coroutine.  Yield a Task to join it.

@@ -15,6 +15,8 @@ from typing import Any, Deque, Optional
 from repro.simulator.errors import SimulationError
 from repro.simulator.events import Event
 
+__all__ = ["Semaphore", "Mutex", "Channel"]
+
 
 class Semaphore:
     """Counting semaphore with FIFO wake-up order.

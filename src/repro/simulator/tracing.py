@@ -40,6 +40,9 @@ from collections import deque
 from typing import (Any, Callable, Deque, Dict, Iterator, List, NamedTuple,
                     Optional, Sequence, Tuple)
 
+__all__ = ["TraceRecord", "TraceSampler", "Trace", "RingTrace", "JsonlTrace",
+           "load_trace_jsonl"]
+
 
 class TraceRecord(NamedTuple):
     time: float

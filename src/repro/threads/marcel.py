@@ -17,6 +17,8 @@ from repro.hardware.params import NodeParams
 from repro.simulator import Event, Semaphore, Simulator, Task
 from repro.simulator.rng import rng_stream
 
+__all__ = ["MarcelScheduler"]
+
 
 class MarcelScheduler:
     """Core manager for one node.

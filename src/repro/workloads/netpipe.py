@@ -14,6 +14,8 @@ from repro.config import ClusterSpec, StackSpec
 from repro.mpich2.request import ANY_SOURCE
 from repro.runtime import run_mpi
 
+__all__ = ["NetpipeResult", "pingpong", "run_netpipe"]
+
 #: Fig. 4(a)/5(a)/6 latency sweep: 1 B .. 512 B
 LATENCY_SIZES = [1 << i for i in range(10)]
 #: Fig. 4(b)/5(b) bandwidth sweep: 1 B .. 64 MiB

@@ -1,0 +1,287 @@
+"""Contract passes on seeded violation fixtures — one per contract class."""
+
+from repro.analysis.static import check_package, run_check
+from repro.analysis.static.callgraph import build_package
+from repro.analysis.static.contracts import dead_public_functions
+
+#: a minimal taxonomy module for the RPC005/RPC006 fixtures
+TAXONOMY = """
+CATEGORIES = {
+    "nic.tx": "frame leaves the NIC",
+    "ghost.unused": "never emitted anywhere",
+}
+"""
+
+
+def codes_of(found):
+    return sorted({v.code for v in found})
+
+
+def check(make_pkg, files):
+    found, _graph, _analysis, _dead = check_package(make_pkg(files))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# RPC001 — blocking in callback contexts
+# ---------------------------------------------------------------------------
+
+def test_blocking_in_subscriber_detected(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        import time
+
+        class Metrics:
+            def on_record(self, rec):
+                time.sleep(0.1)
+
+            def attach(self, trace):
+                trace.subscribe(self.on_record)
+        """})
+    assert "RPC001" in codes_of(found)
+    [v] = [v for v in found if v.code == "RPC001"]
+    assert "on_record" in v.message and "block" in v.message
+
+
+def test_blocking_reached_through_helper(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        import time
+
+        def slow_flush():
+            time.sleep(1.0)
+
+        class Metrics:
+            def on_record(self, rec):
+                slow_flush()
+
+            def attach(self, trace):
+                trace.subscribe(self.on_record)
+        """})
+    [v] = [v for v in found if v.code == "RPC001"]
+    assert "slow_flush" in v.message
+
+
+def test_generator_shares_hook_detected(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        class Strategy:
+            def _shares(self, free, item):
+                yield 1
+        """})
+    [v] = [v for v in found if v.code == "RPC001"]
+    assert "_shares" in v.message and "yield" in v.message
+
+
+def test_clean_subscriber_passes(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        class Metrics:
+            def on_record(self, rec):
+                self.count = getattr(self, "count", 0) + 1
+
+            def attach(self, trace):
+                trace.subscribe(self.on_record)
+        """})
+    assert "RPC001" not in codes_of(found)
+
+
+# ---------------------------------------------------------------------------
+# RPC002 / RPC003 — funnel escapes
+# ---------------------------------------------------------------------------
+
+def test_wrapped_host_clock_detected(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        from time import time as now
+
+        def my_clock():
+            return now()
+        """})
+    [v] = [v for v in found if v.code == "RPC002"]
+    assert "time.time" in v.message and "my_clock" in v.message
+
+
+def test_funnel_module_is_exempt(make_pkg):
+    found = check(make_pkg, {
+        "simulator/__init__.py": "",
+        "simulator/hostclock.py": """
+        import time
+
+        def host_clock():
+            return time.time()
+        """})
+    assert "RPC002" not in codes_of(found)
+
+
+def test_unseeded_rng_detected(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        import random
+
+        def jitter():
+            return random.random()
+        """})
+    [v] = [v for v in found if v.code == "RPC003"]
+    assert "random.random" in v.message
+
+
+# ---------------------------------------------------------------------------
+# RPC004 — race-instrumentation coverage
+# ---------------------------------------------------------------------------
+
+RACY_CLASS = """
+class Queue:
+    def __init__(self, sim):
+        self.sim = sim
+        self.items = []
+
+    def guarded_push(self, x):
+        self.sim.race_write("queue.items")
+        self.items.append(x)
+
+    def bare_push(self, x):
+        self.items.append(x)
+"""
+
+
+def test_uninstrumented_shared_write_detected(make_pkg):
+    found = check(make_pkg, {"a.py": RACY_CLASS})
+    [v] = [v for v in found if v.code == "RPC004"]
+    assert "bare_push" in v.message and "self.items.append" in v.message
+
+
+def test_write_covered_by_instrumented_callers_passes(make_pkg):
+    found = check(make_pkg, {"a.py": RACY_CLASS + """
+
+def producer(q):
+    q.sim.race_write("queue.items")
+    q.bare_push(1)
+"""})
+    assert "RPC004" not in codes_of(found)
+
+
+def test_uninstrumented_class_is_out_of_scope(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        class Plain:
+            def push(self, x):
+                self.items.append(x)
+        """})
+    assert "RPC004" not in codes_of(found)
+
+
+# ---------------------------------------------------------------------------
+# RPC005 / RPC006 — taxonomy round-trip
+# ---------------------------------------------------------------------------
+
+def test_unregistered_category_detected(make_pkg):
+    found = check(make_pkg, {
+        "observability/__init__.py": "",
+        "observability/taxonomy.py": TAXONOMY,
+        "a.py": """
+        def emit(sim):
+            sim.record("nic.tx", size=4)
+            sim.record("rogue.event", size=4)
+            sim.record("ghost.unused")
+        """})
+    [v] = [v for v in found if v.code == "RPC005"]
+    assert "rogue.event" in v.message
+    assert "RPC006" not in codes_of(found)
+
+
+def test_dead_taxonomy_entry_detected(make_pkg):
+    found = check(make_pkg, {
+        "observability/__init__.py": "",
+        "observability/taxonomy.py": TAXONOMY,
+        "a.py": """
+        def emit(sim):
+            sim.record("nic.tx", size=4)
+        """})
+    [v] = [v for v in found if v.code == "RPC006"]
+    assert "ghost.unused" in v.message
+    assert v.path.endswith("taxonomy.py")
+
+
+def test_any_literal_counts_as_emission_evidence(make_pkg):
+    # indirect emission (functools.partial) leaves the literal somewhere
+    found = check(make_pkg, {
+        "observability/__init__.py": "",
+        "observability/taxonomy.py": TAXONOMY,
+        "a.py": """
+        from functools import partial
+
+        def emit(sim):
+            sim.record("nic.tx", size=4)
+            mark = partial(sim.record, "ghost.unused")
+            mark()
+        """})
+    assert "RPC006" not in codes_of(found)
+
+
+# ---------------------------------------------------------------------------
+# suppression
+# ---------------------------------------------------------------------------
+
+def test_inline_pragma_suppresses(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        import random
+
+        def jitter():
+            return random.random()  # repro-check: allow[RPC003] test noise
+        """})
+    assert "RPC003" not in codes_of(found)
+
+
+def test_comment_line_pragma_covers_next_line(make_pkg):
+    found = check(make_pkg, {"a.py": """
+        import random
+
+        def jitter():
+            # repro-check: allow[RPC003] justification on its own line
+            return random.random()
+        """})
+    assert "RPC003" not in codes_of(found)
+
+
+def test_baseline_ratchets(make_pkg):
+    root = make_pkg({"a.py": """
+        import random
+
+        def jitter():
+            return random.random()
+        """})
+    found, _g, _a, _d = check_package(root)
+    baseline = {v.fingerprint(): 1 for v in found}
+    result = run_check(root, baseline=baseline)
+    assert result.clean
+    assert len(result.baselined) == len(found)
+    # a new violation is NOT covered by the old baseline
+    result = run_check(root, baseline={})
+    assert not result.clean
+
+
+# ---------------------------------------------------------------------------
+# dead-code report
+# ---------------------------------------------------------------------------
+
+def test_dead_code_reported_and_all_annotations_respected(make_pkg):
+    graph = build_package(make_pkg({"a.py": """
+        __all__ = ["entry", "Exported"]
+
+        def entry():
+            helper()
+
+        def helper():
+            pass
+
+        def orphan():
+            pass
+
+        class Exported:
+            def api_method(self):
+                pass
+
+        class Internal:
+            def unused_method(self):
+                pass
+        """}))
+    dead = {f.qname for f in dead_public_functions(graph)}
+    assert "pkg.a.orphan" in dead
+    assert "pkg.a.Internal.unused_method" in dead
+    assert "pkg.a.entry" not in dead          # __all__ root
+    assert "pkg.a.helper" not in dead         # reachable from entry
+    assert "pkg.a.Exported.api_method" not in dead   # exported class API

@@ -1,0 +1,218 @@
+"""Effect inference and interprocedural propagation."""
+
+from repro.analysis.static.callgraph import build_package
+from repro.analysis.static.effects import (BLOCKS, HOST_CLOCK,
+                                           MUTATES_SHARED,
+                                           RACE_INSTRUMENTED, RAW_CLOCK,
+                                           RAW_RNG, RNG_STREAM, TRACE_EMIT,
+                                           YIELDS, EffectAnalysis)
+
+
+def analyze(make_pkg, files):
+    graph = build_package(make_pkg(files))
+    return graph, EffectAnalysis(graph)
+
+
+# ---------------------------------------------------------------------------
+# local inference
+# ---------------------------------------------------------------------------
+
+def test_raw_clock_detected(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        import time
+
+        def stamp():
+            return time.time()
+        """})
+    assert RAW_CLOCK in fx.functions["pkg.a.stamp"].local
+
+
+def test_raw_clock_detected_through_alias(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        from time import time as now
+
+        def stamp():
+            return now()
+        """})
+    assert RAW_CLOCK in fx.functions["pkg.a.stamp"].local
+
+
+def test_raw_rng_detected(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        import random
+
+        def draw():
+            return random.random()
+        """})
+    assert RAW_RNG in fx.functions["pkg.a.draw"].local
+
+
+def test_generator_yields(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        def proc(sim):
+            yield sim.timeout(1.0)
+        """})
+    assert fx.functions["pkg.a.proc"].is_generator
+
+
+def test_nested_def_effects_stay_separate(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        def outer():
+            def inner():
+                yield 1
+            return inner
+        """})
+    assert YIELDS not in fx.functions["pkg.a.outer"].local
+    assert YIELDS in fx.functions["pkg.a.outer.inner"].local
+
+
+def test_time_sleep_blocks(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        import time
+
+        def nap():
+            time.sleep(0.1)
+        """})
+    assert BLOCKS in fx.functions["pkg.a.nap"].local
+
+
+def test_trace_emission_collects_categories(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        def emit(sim):
+            sim.record("nic.tx", size=4)
+        """})
+    emit = fx.functions["pkg.a.emit"]
+    assert TRACE_EMIT in emit.local
+    assert [c for c, _ in emit.categories] == ["nic.tx"]
+
+
+def test_shared_mutation_and_instrumentation(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        class C:
+            def __init__(self):
+                self.items = []
+
+            def push(self, x):
+                self.items.append(x)
+
+            def guarded(self, x):
+                self.sim.race_write("c.items")
+                self.items.append(x)
+        """})
+    push = fx.functions["pkg.a.C.push"]
+    assert MUTATES_SHARED in push.local and not push.instrumented
+    guarded = fx.functions["pkg.a.C.guarded"]
+    assert MUTATES_SHARED in guarded.local
+    assert RACE_INSTRUMENTED in guarded.local
+    # __init__ mutations are constructor-owned, never shared
+    assert MUTATES_SHARED not in fx.functions["pkg.a.C.__init__"].local
+
+
+# ---------------------------------------------------------------------------
+# propagation
+# ---------------------------------------------------------------------------
+
+def test_effects_propagate_to_callers(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        import time
+
+        def leaf():
+            time.sleep(1)
+
+        def mid():
+            leaf()
+
+        def top():
+            mid()
+        """})
+    assert BLOCKS in fx.functions["pkg.a.top"].out
+    chain = fx.chain("pkg.a.top", BLOCKS)
+    assert chain[:3] == ["pkg.a.top", "pkg.a.mid", "pkg.a.leaf"]
+
+
+def test_calling_a_generator_propagates_nothing(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        import time
+
+        def proc():
+            time.sleep(1)
+            yield 1
+
+        def spawner(sim):
+            sim.spawn(proc())
+        """})
+    out = fx.functions["pkg.a.spawner"].out
+    assert BLOCKS not in out and YIELDS not in out
+
+
+def test_funnel_absorbs_raw_clock(make_pkg):
+    _, fx = analyze(make_pkg, {
+        "simulator/__init__.py": "",
+        "simulator/hostclock.py": """
+        import time
+
+        def host_clock():
+            return time.time()
+        """,
+        "a.py": """
+        from pkg.simulator.hostclock import host_clock
+
+        def telemetry():
+            return host_clock()
+        """})
+    telemetry = fx.functions["pkg.a.telemetry"]
+    assert HOST_CLOCK in telemetry.out
+    assert RAW_CLOCK not in telemetry.out
+    # the funnel itself still carries the raw effect locally
+    assert RAW_CLOCK in fx.functions[
+        "pkg.simulator.hostclock.host_clock"].local
+
+
+def test_funnel_absorbs_raw_rng(make_pkg):
+    _, fx = analyze(make_pkg, {
+        "simulator/__init__.py": "",
+        "simulator/rng.py": """
+        import numpy as np
+
+        def rng_stream(seed, *key):
+            return np.random.default_rng(seed)
+        """,
+        "a.py": """
+        from pkg.simulator.rng import rng_stream
+
+        def draw(seed):
+            return rng_stream(seed, "a")
+        """})
+    draw = fx.functions["pkg.a.draw"]
+    assert RNG_STREAM in draw.out
+    assert RAW_RNG not in draw.out
+
+
+def test_simulator_run_is_blocking(make_pkg):
+    _, fx = analyze(make_pkg, {
+        "simulator/__init__.py": "",
+        "simulator/engine.py": """
+        class Simulator:
+            def run(self, until=None):
+                pass
+
+            def step(self):
+                pass
+        """,
+        "a.py": """
+        def drive(sim):
+            sim.run()
+        """})
+    assert BLOCKS in fx.functions["pkg.a.drive"].out
+
+
+def test_mutation_effects_do_not_travel(make_pkg):
+    _, fx = analyze(make_pkg, {"a.py": """
+        class C:
+            def push(self, x):
+                self.items.append(x)
+
+        def caller(c):
+            c.push(1)
+        """})
+    assert MUTATES_SHARED not in fx.functions["pkg.a.caller"].out

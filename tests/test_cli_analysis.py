@@ -67,6 +67,88 @@ def test_cli_unknown_experiment():
 
 
 # ---------------------------------------------------------------------------
+# static analysis front-ends: repro lint / repro check
+# ---------------------------------------------------------------------------
+
+def violation_pkg(tmp_path):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "a.py").write_text(
+        "import random\n\n\ndef jitter():\n    return random.random()\n")
+    return str(root)
+
+
+def test_cli_lint_sarif_format(capsys):
+    assert main(["lint", "--format", "sarif"]) == 0
+    out = capsys.readouterr().out
+    assert '"version": "2.1.0"' in out
+    assert "RPR001" in out      # rule catalog listed even when clean
+
+
+def test_cli_lint_json_output_file(tmp_path, capsys):
+    out_file = tmp_path / "lint.json"
+    assert main(["lint", "--format", "json",
+                 "--output", str(out_file)]) == 0
+    assert "written to" in capsys.readouterr().out
+    import json
+    assert json.loads(out_file.read_text())["tool"] == "repro-lint"
+
+
+def test_cli_check_clean_on_real_package(capsys):
+    assert main(["check"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_check_list_contracts(capsys):
+    assert main(["check", "--list-contracts"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPC001", "RPC002", "RPC003", "RPC004", "RPC005",
+                 "RPC006"):
+        assert code in out
+
+
+def test_cli_check_flags_fixture_violation(tmp_path, capsys):
+    assert main(["check", violation_pkg(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPC003" in out and "1 violation(s)" in out
+
+
+def test_cli_check_baseline_ratchet(tmp_path, capsys):
+    root = violation_pkg(tmp_path)
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["check", root, "--update-baseline", baseline]) == 0
+    assert main(["check", root, "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_check_sarif_artifact(tmp_path, capsys):
+    out_file = tmp_path / "check.sarif"
+    assert main(["check", violation_pkg(tmp_path), "--format", "sarif",
+                 "--output", str(out_file)]) == 1
+    import json
+    doc = json.loads(out_file.read_text())
+    assert doc["runs"][0]["results"][0]["ruleId"] == "RPC003"
+
+
+def test_cli_check_dead_code_report(tmp_path, capsys):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "a.py").write_text("def orphan():\n    pass\n")
+    assert main(["check", str(root), "--dead-code"]) == 0
+    out = capsys.readouterr().out
+    assert "pkg.a.orphan" in out
+    assert "1 unreachable" in out
+
+
+def test_cli_check_stats(capsys):
+    assert main(["check", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "call graph:" in out and "generator(s)" in out
+
+
+# ---------------------------------------------------------------------------
 # trace analysis
 # ---------------------------------------------------------------------------
 
