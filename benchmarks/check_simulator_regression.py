@@ -1,9 +1,13 @@
 """Guard against simulator hot-path regressions (two-sided).
 
 Compares a fresh ``--benchmark-json`` run of ``bench_simulator.py``
-against the committed baseline ``BENCH_simulator.json``:
+against the committed baseline ``BENCH_simulator.json``.  The ratchet
+statistic is each benchmark's per-round **minimum**, not its mean:
+scheduler noise on a shared box only ever *adds* time, so the min is
+the stable estimate of the code's actual cost while means and medians
+swing with ambient load.
 
-* a benchmark whose throughput (1 / mean seconds) drops more than the
+* a benchmark whose throughput (1 / min seconds) drops more than the
   threshold (default 15 %) is a **REG** and the run exits non-zero;
 * one that *gains* more than the threshold is an **IMP** — it passes,
   but the guard emits an updated baseline (``<baseline>.updated``, or
@@ -13,10 +17,15 @@ against the committed baseline ``BENCH_simulator.json``:
   baseline.
 
 Every run appends one JSON line to ``--history`` (default
-``benchmarks/bench_history.jsonl``) with the per-benchmark means and
+``benchmarks/bench_history.jsonl``) with the per-benchmark timings and
 ratios; ``repro perf`` renders the trajectory.  Timestamps come from
 pytest-benchmark's own metadata, so the guard itself never reads the
 wall clock.
+
+Benchmarks parametrized by scheduler kind (``foo[heap]`` /
+``foo[calendar]``) additionally feed a ``per_scheduler`` section in
+the history line, and the guard prints the head-to-head speedup for
+every such pair so per-scheduler numbers are recorded run over run.
 
 Usage::
 
@@ -33,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import shutil
 import sys
 from typing import Any, Dict, Optional, Tuple
@@ -40,19 +50,32 @@ from typing import Any, Dict, Optional, Tuple
 DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__),
                                "bench_history.jsonl")
 
+#: scheduler-kind parametrization suffix, e.g. ``foo[calendar]``
+_SCHED_PARAM = re.compile(r"^(?P<base>.+)\[(?P<kind>heap|calendar)\]$")
+
+
+def _per_scheduler(mins: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """kind -> {base benchmark name -> min seconds}."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, timing in mins.items():
+        match = _SCHED_PARAM.match(name)
+        if match:
+            out.setdefault(match.group("kind"), {})[match.group("base")] = timing
+    return out
+
 
 def _load(path: str) -> Tuple[Dict[str, float], Dict[str, Any]]:
-    """benchmark fullname -> mean seconds, plus the run metadata."""
+    """benchmark fullname -> min seconds per round, plus run metadata."""
     with open(path) as fh:
         data = json.load(fh)
-    means = {}
+    mins = {}
     for bench in data["benchmarks"]:
-        mean = bench["stats"]["mean"]
-        if mean > 0:
-            means[bench["fullname"]] = mean
+        timing = bench["stats"]["min"]
+        if timing > 0:
+            mins[bench["fullname"]] = timing
     meta = {"datetime": data.get("datetime"),
             "commit": (data.get("commit_info") or {}).get("id")}
-    return means, meta
+    return mins, meta
 
 
 def _append_history(path: str, entry: Dict[str, Any]) -> None:
@@ -84,9 +107,9 @@ def main(argv: Optional[list] = None) -> int:
                              "improvement)")
     args = parser.parse_args(argv)
 
-    base_means, _ = _load(args.baseline)
-    cur_means, cur_meta = _load(args.current)
-    if not base_means:
+    base_mins, _ = _load(args.baseline)
+    cur_mins, cur_meta = _load(args.current)
+    if not base_mins:
         print("no baseline benchmarks found", file=sys.stderr)
         return 2
 
@@ -94,16 +117,16 @@ def main(argv: Optional[list] = None) -> int:
     regressions = []
     improvements = []
     benches: Dict[str, Dict[str, Optional[float]]] = {}
-    for name, base_mean in sorted(base_means.items()):
-        if name not in cur_means:
+    for name, base_min in sorted(base_mins.items()):
+        if name not in cur_mins:
             failures.append(f"{name}: missing from current run")
             regressions.append(name)
-            benches[name] = {"mean": None, "base_mean": base_mean,
+            benches[name] = {"min": None, "base_min": base_min,
                              "ratio": None}
             continue
-        mean = cur_means[name]
-        ratio = base_mean / mean    # throughput ratio: >1 = faster now
-        benches[name] = {"mean": mean, "base_mean": base_mean,
+        timing = cur_mins[name]
+        ratio = base_min / timing   # throughput ratio: >1 = faster now
+        benches[name] = {"min": timing, "base_min": base_min,
                          "ratio": ratio}
         marker = "OK "
         if ratio < 1.0 - args.threshold:
@@ -116,11 +139,25 @@ def main(argv: Optional[list] = None) -> int:
             marker = "IMP"
             improvements.append(name)
         print(f"  {marker} {name.split('::')[-1]:44s} {ratio:6.2f}x baseline")
-    new_names = sorted(set(cur_means) - set(base_means))
+    new_names = sorted(set(cur_mins) - set(base_mins))
     for name in new_names:
-        benches[name] = {"mean": cur_means[name], "base_mean": None,
+        benches[name] = {"min": cur_mins[name], "base_min": None,
                          "ratio": None}
         print(f"  NEW {name.split('::')[-1]:44s} (no baseline)")
+
+    per_sched = _per_scheduler(cur_mins)
+    if len(per_sched) > 1:
+        kinds = sorted(per_sched)
+        shared = sorted(set.intersection(*(set(per_sched[k])
+                                           for k in kinds)))
+        print("\nper-scheduler head-to-head (min seconds):")
+        for base in shared:
+            cells = "  ".join(f"{k}={per_sched[k][base]:.4g}s"
+                              for k in kinds)
+            ratio = per_sched["heap"][base] / per_sched["calendar"][base] \
+                if {"heap", "calendar"} <= set(kinds) else None
+            extra = f"  calendar {ratio:.2f}x vs heap" if ratio else ""
+            print(f"  {base.split('::')[-1]:44s} {cells}{extra}")
 
     if not args.no_history:
         _append_history(args.history, {
@@ -129,6 +166,7 @@ def main(argv: Optional[list] = None) -> int:
             "baseline": os.path.basename(args.baseline),
             "threshold": args.threshold,
             "benches": benches,
+            "per_scheduler": per_sched,
             "regressions": regressions,
             "improvements": improvements,
             "new": new_names,
@@ -157,7 +195,7 @@ def main(argv: Optional[list] = None) -> int:
         print(f"\n{' and '.join(what)}: updated baseline written to "
               f"{updated} (commit it, or rerun with --update-baseline)")
 
-    print(f"\nall {len(base_means)} baseline benchmarks within "
+    print(f"\nall {len(base_mins)} baseline benchmarks within "
           f"{args.threshold:.0%}")
     return 0
 

@@ -12,7 +12,9 @@ Metrics fed:
 
 * ``engine.events`` — callbacks dispatched (counter)
 * ``engine.events_per_sec`` — dispatch throughput (gauge)
-* ``engine.heap_peak`` — high-water event-heap length (gauge)
+* ``engine.queue_peak`` — high-water event-queue length (gauge)
+* ``engine.heap_peak`` — legacy alias of ``engine.queue_peak``, kept
+  for dashboards written before the queue became pluggable
 * ``engine.wall_seconds`` — host seconds inside ``run`` (counter)
 * ``process.peak_rss_kib`` — process high-water resident set (gauge)
 """
@@ -21,7 +23,7 @@ from __future__ import annotations
 
 import resource
 import sys
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.observability.metrics import MetricsRegistry
 from repro.simulator.engine import Simulator
@@ -40,7 +42,7 @@ def peak_rss_kib() -> float:
 
 def record_engine_metrics(sim: Simulator,
                           registry: Optional[MetricsRegistry] = None,
-                          ) -> Dict[str, float]:
+                          ) -> Dict[str, Any]:
     """Land ``sim``'s run-loop telemetry in ``registry``; returns it.
 
     Call after the run completes.  The returned dict is
@@ -51,17 +53,20 @@ def record_engine_metrics(sim: Simulator,
     stats["peak_rss_kib"] = peak_rss_kib()
     registry.counter("engine.events").inc(stats["events_executed"])
     registry.gauge("engine.events_per_sec").set(stats["events_per_sec"])
-    registry.gauge("engine.heap_peak").set(stats["heap_peak"])
+    registry.gauge("engine.queue_peak").set(stats["queue_peak"])
+    registry.gauge("engine.heap_peak").set(stats["queue_peak"])  # legacy
     registry.counter("engine.wall_seconds").inc(stats["wall_seconds"])
     registry.gauge("process.peak_rss_kib").set(stats["peak_rss_kib"])
     return stats
 
 
-def format_engine_stats(stats: Dict[str, float]) -> str:
+def format_engine_stats(stats: Dict[str, Any]) -> str:
     """One-paragraph rendering of :func:`record_engine_metrics` output."""
+    scheduler = stats.get("scheduler", "heap")
     return (
         f"engine: {int(stats['events_executed'])} events in "
         f"{stats['wall_seconds']:.3f}s wall "
         f"({stats['events_per_sec']:,.0f} events/s), "
-        f"heap peak {int(stats['heap_peak'])}, "
+        f"scheduler {scheduler}, "
+        f"queue peak {int(stats['queue_peak'])}, "
         f"process peak RSS {stats['peak_rss_kib'] / 1024:.1f} MiB")

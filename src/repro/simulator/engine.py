@@ -1,11 +1,12 @@
 """The simulation event loop.
 
-Time is a ``float`` in **seconds**.  The engine keeps a binary heap of
-entries ordered by ``(time, seq)``; ``seq`` is a global monotonically
-increasing counter so that callbacks scheduled for the same instant run
-in FIFO order, which makes every simulation fully deterministic.
+Time is a ``float`` in **seconds**.  The engine keeps pending work in a
+pluggable :class:`~repro.simulator.schedulers.EventScheduler` ordered by
+``(time, seq)``; ``seq`` is a global monotonically increasing counter so
+that callbacks scheduled for the same instant run in FIFO order, which
+makes every simulation fully deterministic.
 
-Two kinds of entries coexist on the heap:
+Two kinds of entries coexist in the queue:
 
 * ``(time, seq, handle)`` — cancellable, created by :meth:`Simulator.at`
   / :meth:`Simulator.schedule`, which return the
@@ -15,40 +16,50 @@ Two kinds of entries coexist on the heap:
   start, timeouts).  They carry no handle object, which keeps the
   hottest scheduling operations allocation-light.
 
-``seq`` is unique, so heap comparisons never reach the third element of
+``seq`` is unique, so entry comparisons never reach the third element of
 either tuple shape.
 
+Scheduler selection: ``Simulator(scheduler=...)`` takes ``"calendar"``
+(the default — a bucketed calendar queue draining whole same-timestamp
+batches per dispatch loop), ``"heap"`` (the reference binary heap), or
+a ready :class:`~repro.simulator.schedulers.EventScheduler` instance.
+``scheduler=None`` consults the ``REPRO_SCHEDULER`` environment knob.
+Both structures yield bit-identical execution orders — the differential
+harness in ``tests/simulator/`` enforces it — so results, traces and
+race reports never depend on the choice; only throughput does.
+
 Cancellation is O(1) lazy deletion: the handle is flagged and skipped
-when popped.  Long-lived simulations that cancel many far-future timers
-(e.g. per-frame retransmission timeouts) would otherwise accumulate
-dead entries, so the engine compacts the heap in one batched pass when
-cancelled entries outnumber live ones.
+when dispatched.  Long-lived simulations that cancel many far-future
+timers (e.g. per-frame retransmission timeouts) would otherwise
+accumulate dead entries, so the engine compacts the queue in one
+batched pass when cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.simulator.errors import DeadlockError, SimulationError
+from repro.simulator.events import Event
 from repro.simulator.hostclock import host_clock
+from repro.simulator.schedulers import EventScheduler, make_scheduler
 from repro.simulator.tracing import Trace
 
 __all__ = ["ScheduledCallback", "Simulator"]
 
-#: heap entries are (time, seq, handle) or (time, seq, fn, args)
+#: queue entries are (time, seq, handle) or (time, seq, fn, args)
 _HeapEntry = Tuple[Any, ...]
 
-#: start compacting only past this many cancelled entries (tiny heaps
+#: start compacting only past this many cancelled entries (tiny queues
 #: are cheaper to drain lazily than to rebuild)
 _COMPACT_MIN_CANCELLED = 64
 
 
 class ScheduledCallback:
-    """Handle for a callback sitting in the event heap.
+    """Handle for a callback sitting in the event queue.
 
     Supports :meth:`cancel`, which is O(1): the entry is flagged and the
-    event loop skips it when popped (lazy deletion).  The owning
+    event loop skips it when dispatched (lazy deletion).  The owning
     simulator batches a compaction pass when flagged entries pile up.
     """
 
@@ -71,8 +82,14 @@ class ScheduledCallback:
         sim = self.sim
         sim._cancelled += 1
         if (sim._cancelled >= _COMPACT_MIN_CANCELLED
-                and sim._cancelled * 2 >= len(sim._heap)):
+                and sim._cancelled * 2 >= len(sim._sched)):
             sim._compact()
+
+
+def _entry_is_cancelled(entry: _HeapEntry) -> bool:
+    """Compaction predicate: a flagged cancellable handle entry."""
+    item = entry[2]
+    return type(item) is ScheduledCallback and item.cancelled
 
 
 class _NullRegion:
@@ -99,6 +116,11 @@ class Simulator:
         Optional :class:`~repro.simulator.tracing.Trace` recorder.  When
         provided, subsystems emit structured trace records through
         :meth:`record`.
+    scheduler:
+        Event-queue structure: ``"calendar"`` (default), ``"heap"``, or
+        an :class:`~repro.simulator.schedulers.EventScheduler` instance.
+        ``None`` consults the ``REPRO_SCHEDULER`` environment variable.
+        The choice affects throughput only, never results.
 
     Example
     -------
@@ -113,11 +135,13 @@ class Simulator:
     'done'
     """
 
-    def __init__(self, trace: Optional[Trace] = None):
-        self._heap: List[_HeapEntry] = []
+    def __init__(self, trace: Optional[Trace] = None,
+                 scheduler: Union[EventScheduler, str, None] = None):
+        self._sched: EventScheduler = make_scheduler(scheduler)
+        self._push = self._sched.push
         self._seq = 0
         self._now = 0.0
-        self._cancelled = 0          # cancelled handles still on the heap
+        self._cancelled = 0          # cancelled handles still queued
         self._running_tasks = 0
         self._failed_tasks: list = []
         self._trace: Optional[Trace] = None
@@ -127,10 +151,11 @@ class Simulator:
         self.tracing = False
         self.trace = trace
         #: perf telemetry (host-side, never fed back into simulation):
-        #: callbacks dispatched, high-water heap length, wall seconds
-        #: spent inside :meth:`run` — see :meth:`perf_stats`
+        #: callbacks dispatched, high-water queue length, dispatch
+        #: batches, wall seconds inside :meth:`run` — see :meth:`perf_stats`
         self.events_executed = 0
-        self.heap_peak = 0
+        self.queue_peak = 0
+        self.batches_executed = 0
         self.run_wall_seconds = 0.0
         #: optional execution monitor (duck-typed; see
         #: ``repro.analysis.race.RaceDetector``).  When set, the engine
@@ -145,6 +170,11 @@ class Simulator:
         """Current simulation time in seconds."""
         return self._now
 
+    @property
+    def heap_peak(self) -> int:
+        """Deprecated alias of :attr:`queue_peak` (pre-scheduler name)."""
+        return self.queue_peak
+
     def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCallback:
         """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
@@ -154,7 +184,7 @@ class Simulator:
         if self.monitor is not None:
             self.monitor.on_schedule(handle)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._push((time, self._seq, handle))
         return handle
 
     def at(self, time: float, fn: Callable, *args: Any) -> ScheduledCallback:
@@ -167,7 +197,7 @@ class Simulator:
         if self.monitor is not None:
             self.monitor.on_schedule(handle)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._push((time, self._seq, handle))
         return handle
 
     def _post(self, delay: float, fn: Callable, *args: Any) -> None:
@@ -182,14 +212,11 @@ class Simulator:
             self.at(self._now + delay, fn, *args)
             return
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        self._push((self._now + delay, self._seq, fn, args))
 
     def _compact(self) -> None:
-        """Drop cancelled entries from the heap in one batched pass."""
-        self._heap = [entry for entry in self._heap
-                      if not (type(entry[2]) is ScheduledCallback
-                              and entry[2].cancelled)]
-        heapq.heapify(self._heap)
+        """Drop cancelled entries from the queue in one batched pass."""
+        self._sched.remove_if(_entry_is_cancelled)
         self._cancelled = 0
 
     # ------------------------------------------------------------------
@@ -197,15 +224,13 @@ class Simulator:
     # ------------------------------------------------------------------
     def event(self) -> "Event":
         """Create a fresh untriggered :class:`Event`."""
-        from repro.simulator.events import Event
-
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> "Event":
         """An event that succeeds ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        evt = self.event()
+        evt = Event(self)
         self._post(delay, evt.succeed, value)
         return evt
 
@@ -230,11 +255,15 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending callback.  Returns False when empty."""
-        heap = self._heap
-        while heap:
-            if len(heap) > self.heap_peak:
-                self.heap_peak = len(heap)
-            entry = heapq.heappop(heap)
+        sched = self._sched
+        while True:
+            pending = len(sched)
+            if pending == 0:
+                return False
+            if pending > self.queue_peak:
+                self.queue_peak = pending
+            entry = sched.pop()
+            assert entry is not None
             item = entry[2]
             if type(item) is ScheduledCallback:
                 if item.cancelled:
@@ -258,51 +287,71 @@ class Simulator:
             self.events_executed += 1
             item(*entry[3])
             return True
-        return False
 
     def run(self, until: Optional[float] = None,
             detect_deadlock: bool = False) -> float:
-        """Run until the heap drains or ``until`` is reached.
+        """Run until the queue drains or ``until`` is reached.
 
         Returns the final simulation time.  With ``detect_deadlock=True``
         a :class:`DeadlockError` is raised if live tasks remain when the
-        heap drains (tasks blocked on events nobody will trigger).
+        queue drains (tasks blocked on events nobody will trigger).
         """
-        heap = self._heap
+        sched = self._sched
         wall_start = host_clock()
         if until is None and self.monitor is None:
-            # hot path: inline pop-dispatch loop, no per-event peeking.
-            # Telemetry stays in locals and is flushed once on exit so
-            # the per-event cost is one compare + one increment.
-            pop = heapq.heappop
+            # hot path: drain whole same-timestamp batches per dispatch
+            # loop, so the clock write, the peak sample and the loop
+            # bookkeeping are paid once per *batch* of an event flood,
+            # not once per event.  Telemetry stays in locals and is
+            # flushed once on exit.  The queue peak is sampled between
+            # batches (documented in perf_stats).
+            pop_batch = sched.pop_batch
+            end_batch = sched.end_batch
+            qlen = sched.__len__
             executed = 0
-            peak = self.heap_peak
+            batches = 0
+            peak = self.queue_peak
             try:
-                while heap:
-                    if len(heap) > peak:
-                        peak = len(heap)
-                    entry = pop(heap)
-                    item = entry[2]
-                    if type(item) is ScheduledCallback:
-                        if item.cancelled:
-                            if self._cancelled > 0:
-                                self._cancelled -= 1
-                            continue
-                        self._now = entry[0]
-                        executed += 1
-                        item.fn(*item.args)
-                    else:
-                        self._now = entry[0]
-                        executed += 1
-                        item(*entry[3])
+                while True:
+                    pending = qlen()
+                    if pending > peak:
+                        peak = pending
+                    batch = pop_batch()
+                    if batch is None:
+                        break
+                    batches += 1
+                    self._now = batch[0][0]
+                    done = 0
+                    try:
+                        # len() re-checked each lap: a zero-delay push
+                        # from inside the batch appends to it live
+                        while done < len(batch):
+                            entry = batch[done]
+                            done += 1
+                            item = entry[2]
+                            if type(item) is ScheduledCallback:
+                                if item.cancelled:
+                                    if self._cancelled > 0:
+                                        self._cancelled -= 1
+                                    continue
+                                executed += 1
+                                item.fn(*item.args)
+                            else:
+                                executed += 1
+                                item(*entry[3])
+                    finally:
+                        end_batch(batch, done)
             finally:
                 self.events_executed += executed
-                self.heap_peak = peak
+                self.batches_executed += batches
+                self.queue_peak = peak
                 self.run_wall_seconds += host_clock() - wall_start
         else:
             try:
-                while heap:
-                    time = heap[0][0]
+                while True:
+                    time = sched.peek_time()
+                    if time is None:
+                        break
                     if until is not None and time > until:
                         self._now = until
                         self._raise_unobserved_failures()
@@ -335,19 +384,31 @@ class Simulator:
         """Host-side run-loop telemetry, accumulated across ``run`` calls.
 
         ``events_executed`` counts dispatched callbacks (cancelled
-        entries skipped on pop are not events), ``heap_peak`` is the
-        high-water heap length, ``wall_seconds`` the host time spent
-        inside :meth:`run`, and ``events_per_sec`` their ratio.  Wall
-        time is the one host-dependent quantity in the engine; it feeds
-        telemetry only, never simulation.
+        entries skipped at dispatch are not events), ``queue_peak`` is
+        the high-water pending-entry count (``heap_peak`` is kept as a
+        deprecated alias; on the batched fast path the peak is sampled
+        once per dispatch batch), ``batches_executed`` the number of
+        same-timestamp dispatch batches the fast path drained,
+        ``wall_seconds`` the host time spent inside :meth:`run`, and
+        ``events_per_sec`` their ratio.  ``scheduler`` names the active
+        event-queue structure and ``scheduler_stats`` carries its
+        structure-specific counters (bucket width, resizes, ... for the
+        calendar queue).  Wall time is the one host-dependent quantity
+        in the engine; it feeds telemetry only, never simulation.
         """
         wall = self.run_wall_seconds
+        executed = self.events_executed
+        batches = self.batches_executed
         return {
-            "events_executed": float(self.events_executed),
-            "heap_peak": float(self.heap_peak),
+            "events_executed": float(executed),
+            "queue_peak": float(self.queue_peak),
+            "heap_peak": float(self.queue_peak),     # deprecated alias
+            "batches_executed": float(batches),
+            "events_per_batch": (executed / batches if batches else 0.0),
             "wall_seconds": wall,
-            "events_per_sec": (self.events_executed / wall
-                               if wall > 0 else 0.0),
+            "events_per_sec": (executed / wall if wall > 0 else 0.0),
+            "scheduler": self._sched.kind,
+            "scheduler_stats": self._sched.stats(),
         }
 
     # ------------------------------------------------------------------

@@ -3,7 +3,14 @@
 An :class:`Event` has three states: pending, succeeded, failed.  Tasks
 ``yield`` an event to block until it triggers.  Triggering is *scheduled*
 (at the current time) rather than executed inline, so wake-up order is
-the deterministic FIFO order of the engine heap.
+the deterministic FIFO order of the engine queue.
+
+This module is on the engine's innermost dispatch path (every task
+switch triggers at least one event), so the hot methods trade a little
+repetition for fewer Python frames: callback dispatch is inlined into
+:meth:`Event.succeed` / :meth:`Event.fail`, and the combinators read
+``_state`` / ``_value`` directly instead of going through the
+properties.
 """
 
 from __future__ import annotations
@@ -57,7 +64,12 @@ class Event:
             raise SimulationError("event already triggered")
         self._state = _SUCCEEDED
         self._value = value
-        self._dispatch()
+        # inline dispatch: schedule every waiter at the current time
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            post = self.sim._post
+            for fn in callbacks:
+                post(0.0, fn, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -67,22 +79,22 @@ class Event:
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
         self._state = _FAILED
         self._value = exc
-        self._dispatch()
-        return self
-
-    def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, None
-        for fn in callbacks:
-            self.sim._post(0.0, fn, self)
+        if callbacks:
+            post = self.sim._post
+            for fn in callbacks:
+                post(0.0, fn, self)
+        return self
 
     # -- waiting -------------------------------------------------------
     def add_done_callback(self, fn: Callable[["Event"], None]) -> None:
         """Call ``fn(event)`` (via the scheduler) once the event triggers."""
         self._observed = True
-        if self._callbacks is None:
+        callbacks = self._callbacks
+        if callbacks is None:
             self.sim._post(0.0, fn, self)
         else:
-            self._callbacks.append(fn)
+            callbacks.append(fn)
 
 
 class AllOf(Event):
@@ -104,14 +116,14 @@ class AllOf(Event):
             evt.add_done_callback(self._on_child)
 
     def _on_child(self, evt: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
-        if not evt.ok:
-            self.fail(evt.value)
+        if evt._state != _SUCCEEDED:
+            self.fail(evt._value)
             return
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed([e.value for e in self._children])
+            self.succeed([e._value for e in self._children])
 
 
 class AnyOf(Event):
@@ -128,9 +140,9 @@ class AnyOf(Event):
             evt.add_done_callback(lambda e, i=i: self._on_child(i, e))
 
     def _on_child(self, index: int, evt: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
-        if not evt.ok:
-            self.fail(evt.value)
+        if evt._state != _SUCCEEDED:
+            self.fail(evt._value)
             return
-        self.succeed((index, evt.value))
+        self.succeed((index, evt._value))

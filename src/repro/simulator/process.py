@@ -5,6 +5,11 @@ A task wraps a generator.  Whenever the generator ``yield``s an
 triggers; the event's value is sent back into the generator (or the
 exception thrown in, if the event failed).  When the generator returns,
 the task — which is itself an event — succeeds with the return value.
+
+:meth:`Task._on_event` is the single hottest callback in the whole
+reproduction (every task switch goes through it), so the resume logic
+is inlined there as well as kept in :meth:`Task._resume` for the
+start/interrupt paths — one Python frame per wake-up instead of two.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.simulator.errors import Interrupt, SimulationError
-from repro.simulator.events import Event
+from repro.simulator.events import _SUCCEEDED, Event
 
 __all__ = ["Task"]
 
@@ -66,13 +71,34 @@ class Task(Event):
         self._resume(None, exc)
 
     def _on_event(self, evt: Event) -> None:
+        # hot path: _resume inlined (keep the two bodies in sync)
         if self._waiting_on is not evt:
             return  # stale wake-up (e.g. after an interrupt)
         self._waiting_on = None
-        if evt.ok:
-            self._resume(evt.value, None)
-        else:
-            self._resume(None, evt.value)
+        try:
+            if evt._state == _SUCCEEDED:
+                target = self._gen.send(evt._value)
+            else:
+                target = self._gen.throw(evt._value)
+        except StopIteration as stop:
+            self.sim._running_tasks -= 1
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.sim._running_tasks -= 1
+            self.fail(err)
+            self.sim._failed_tasks.append(self)
+            return
+        if not isinstance(target, Event):
+            self.sim._running_tasks -= 1
+            bad = SimulationError(
+                f"task {self.name!r} yielded {target!r}; tasks must yield Events"
+            )
+            self.fail(bad)
+            self.sim._failed_tasks.append(self)
+            return
+        self._waiting_on = target
+        target.add_done_callback(self._on_event)
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.triggered:

@@ -43,7 +43,7 @@ class Semaphore:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        evt = self.sim.event()
+        evt = Event(self.sim)
         if self._value > 0:
             self._value -= 1
             monitor = self.sim.monitor
@@ -119,7 +119,7 @@ class Channel:
             self._items.append(item)
 
     def get(self) -> Event:
-        evt = self.sim.event()
+        evt = Event(self.sim)
         if self._items:
             self._observe()
             evt.succeed(self._items.popleft())

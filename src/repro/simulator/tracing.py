@@ -186,6 +186,23 @@ class Trace:
         """Every category with at least one record, in first-seen order."""
         return list(self._by_category)
 
+    def first_divergence(self, other: "Trace") -> Optional[int]:
+        """Index of the first record where this trace differs from
+        ``other``, or None when both streams are identical.
+
+        The differential scheduler harness uses this to report *where*
+        two runs diverged instead of dumping two full record lists.
+        Length differences diverge at the shorter trace's end.
+        """
+        mine = list(self)
+        theirs = list(other)
+        for i, (a, b) in enumerate(zip(mine, theirs)):
+            if a != b:
+                return i
+        if len(mine) != len(theirs):
+            return min(len(mine), len(theirs))
+        return None
+
     def filter(self, category: str, **match: Any) -> List[TraceRecord]:
         """Records of ``category`` whose data contains all of ``match``."""
         recs = self._by_category.get(category, [])

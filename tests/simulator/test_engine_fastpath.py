@@ -1,24 +1,34 @@
 """The engine's hot-path machinery: slim entries, compaction, tracing.
 
-These pin the behaviours the benchmark-driven rewrite introduced:
+These pin the behaviours the benchmark-driven rewrites introduced:
 
 * ``_post`` entries interleave with handle entries in strict
   ``(time, seq)`` order (FIFO at equal times);
 * lazy-deleted (cancelled) handles are compacted in batches once they
-  dominate the heap, without disturbing live entries;
+  dominate the queue, without disturbing live entries;
 * with a monitor installed ``_post`` degrades to a monitored handle so
   happens-before edges survive;
 * ``record`` is a no-op without a trace and appends with one.
+
+Everything here must hold under *any* event-queue scheduler, so the
+module is parametrized over the registry.
 """
 
 from __future__ import annotations
 
-from repro.simulator import Simulator, Trace
+import pytest
+
+from repro.simulator import SCHEDULER_KINDS, Simulator, Trace
 from repro.simulator.engine import _COMPACT_MIN_CANCELLED, ScheduledCallback
 
 
-def test_post_and_schedule_interleave_fifo() -> None:
-    sim = Simulator()
+@pytest.fixture(params=sorted(SCHEDULER_KINDS))
+def sched_kind(request) -> str:
+    return request.param
+
+
+def test_post_and_schedule_interleave_fifo(sched_kind) -> None:
+    sim = Simulator(scheduler=sched_kind)
     seen = []
     sim.schedule(1.0, seen.append, "handle-a")
     sim._post(1.0, seen.append, "slim-b")
@@ -28,8 +38,8 @@ def test_post_and_schedule_interleave_fifo() -> None:
     assert seen == ["slim-first", "handle-a", "slim-b", "handle-c"]
 
 
-def test_timeout_uses_slim_entries_and_fires() -> None:
-    sim = Simulator()
+def test_timeout_uses_slim_entries_and_fires(sched_kind) -> None:
+    sim = Simulator(scheduler=sched_kind)
 
     def prog():
         value = yield sim.timeout(2.5, value="v")
@@ -38,11 +48,12 @@ def test_timeout_uses_slim_entries_and_fires() -> None:
     task = sim.spawn(prog())
     assert sim.run() == 2.5
     assert task.value == "v"
-    assert not any(type(e[2]) is ScheduledCallback for e in sim._heap)
+    assert not any(type(e[2]) is ScheduledCallback
+                   for e in sim._sched.entries())
 
 
-def test_cancel_is_lazy_and_batched_compaction_kicks_in() -> None:
-    sim = Simulator()
+def test_cancel_is_lazy_and_batched_compaction_kicks_in(sched_kind) -> None:
+    sim = Simulator(scheduler=sched_kind)
     fired = []
     total = 4 * _COMPACT_MIN_CANCELLED
     handles = [sim.schedule(10.0, fired.append, i) for i in range(total)]
@@ -50,15 +61,15 @@ def test_cancel_is_lazy_and_batched_compaction_kicks_in() -> None:
     for handle in handles:
         if handle not in live:
             handle.cancel()
-    # 3/4 cancelled -> the batched pass must have compacted the heap
-    assert len(sim._heap) < total
+    # 3/4 cancelled -> the batched pass must have compacted the queue
+    assert len(sim._sched) < total
     assert sim._cancelled < _COMPACT_MIN_CANCELLED
     sim.run()
     assert fired == [i for i in range(total) if i % 4 == 0]
 
 
-def test_cancel_is_idempotent_in_the_counter() -> None:
-    sim = Simulator()
+def test_cancel_is_idempotent_in_the_counter(sched_kind) -> None:
+    sim = Simulator(scheduler=sched_kind)
     handle = sim.schedule(1.0, lambda: None)
     handle.cancel()
     handle.cancel()
@@ -67,8 +78,8 @@ def test_cancel_is_idempotent_in_the_counter() -> None:
     assert sim._cancelled == 0
 
 
-def test_run_until_sees_slim_entries() -> None:
-    sim = Simulator()
+def test_run_until_sees_slim_entries(sched_kind) -> None:
+    sim = Simulator(scheduler=sched_kind)
     seen = []
     sim._post(1.0, seen.append, "early")
     sim._post(5.0, seen.append, "late")
@@ -93,8 +104,8 @@ class _RecordingMonitor:
         pass
 
 
-def test_post_degrades_to_handles_under_a_monitor() -> None:
-    sim = Simulator()
+def test_post_degrades_to_handles_under_a_monitor(sched_kind) -> None:
+    sim = Simulator(scheduler=sched_kind)
     monitor = _RecordingMonitor()
     sim.monitor = monitor
     sim.timeout(1.0)          # goes through _post -> at()
@@ -105,7 +116,7 @@ def test_post_degrades_to_handles_under_a_monitor() -> None:
     assert len(monitor.steps) == 2
 
 
-def test_monitored_and_bare_runs_order_identically() -> None:
+def test_monitored_and_bare_runs_order_identically(sched_kind) -> None:
     def drive(sim):
         seen = []
 
@@ -120,8 +131,8 @@ def test_monitored_and_bare_runs_order_identically() -> None:
         sim.run()
         return seen
 
-    bare = drive(Simulator())
-    monitored_sim = Simulator()
+    bare = drive(Simulator(scheduler=sched_kind))
+    monitored_sim = Simulator(scheduler=sched_kind)
     monitored_sim.monitor = _RecordingMonitor()
     assert drive(monitored_sim) == bare
 

@@ -1,0 +1,87 @@
+"""Monitored-mode equivalence: ``repro race`` is scheduler-invariant.
+
+With a monitor installed the engine falls back to the single-pop path,
+so the happens-before graph the race detector builds (contexts, sync
+edges, access order) must be *identical* under the calendar queue and
+the reference heap.  These tests run the real ``run_race`` harness on
+both stack presets and a seeded true positive under both schedulers and
+compare every observable of the resulting reports.
+
+A divergence here means the calendar's monitored fallback reordered a
+dispatch — exactly the regression this file exists to catch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.analysis.race import RaceDetector, run_race
+from repro.simulator import SCHEDULER_KINDS, Simulator
+
+_PRESETS = {
+    "mpich2_nmad": config.mpich2_nmad,
+    "mpich2_nmad_reliable": config.mpich2_nmad_reliable,
+}
+
+
+def _report_shape(report):
+    """Every comparable observable of a race report."""
+    return {
+        "accesses": report.accesses,
+        "contexts": report.contexts,
+        "syncs": report.syncs,
+        "variables": report.variables,
+        "dropped": report.dropped,
+        "races": [(r.var,
+                   r.first.ctx_name, r.first.write, r.first.tick,
+                   r.second.ctx_name, r.second.write, r.second.tick)
+                  for r in report.races],
+    }
+
+
+@pytest.mark.parametrize("preset", sorted(_PRESETS))
+def test_preset_race_reports_identical_across_schedulers(preset) -> None:
+    reports = {kind: run_race(_PRESETS[preset](), size=16384, reps=2,
+                              scheduler=kind)
+               for kind in sorted(SCHEDULER_KINDS)}
+    for kind, report in reports.items():
+        assert report.accesses > 50, f"{kind}: instrumentation did not fire"
+        assert report.clean, f"{kind}: {report.format_text()}"
+    assert _report_shape(reports["heap"]) == \
+        _report_shape(reports["calendar"])
+
+
+def _seeded_racy_run(kind):
+    """A toy with one true race plus ordered traffic, under ``kind``."""
+    detector = RaceDetector()
+    sim = Simulator(scheduler=kind)
+    detector.install(sim)
+    done = sim.event()
+
+    def writer():
+        yield sim.timeout(1e-6)
+        sim.race_write("shared")               # racy: no edge to reader
+        sim.race_write("handed-off")
+        done.succeed()
+
+    def reader():
+        yield sim.timeout(2e-6)
+        sim.race_read("shared")
+
+    def follower():
+        yield done                             # ordered: via the event
+        sim.race_read("handed-off")
+
+    sim.spawn(writer(), name="writer")
+    sim.spawn(reader(), name="reader")
+    sim.spawn(follower(), name="follower")
+    sim.run()
+    return detector.report()
+
+
+def test_seeded_race_found_identically_across_schedulers() -> None:
+    shapes = {kind: _report_shape(_seeded_racy_run(kind))
+              for kind in sorted(SCHEDULER_KINDS)}
+    assert [r[0] for r in shapes["calendar"]["races"]] == ["shared"]
+    assert shapes["heap"] == shapes["calendar"]

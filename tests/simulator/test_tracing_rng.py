@@ -57,3 +57,17 @@ def test_rng_stream_string_and_int_keys_distinct():
     a = rng_stream(7, "sampler")
     b = rng_stream(7, "driver")
     assert a.random() != b.random()
+
+
+def test_first_divergence_identical_and_diverging():
+    from repro.simulator import Trace
+
+    a, b = Trace(), Trace()
+    for t in (1.0, 2.0):
+        a.append(t, "x", {"v": t})
+        b.append(t, "x", {"v": t})
+    assert a.first_divergence(b) is None
+    b.append(3.0, "x", {"v": 3.0})
+    assert a.first_divergence(b) == 2       # length mismatch
+    a.append(3.0, "x", {"v": 99.0})
+    assert a.first_divergence(b) == 2       # differing record
