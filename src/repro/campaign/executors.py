@@ -24,7 +24,14 @@ def build_stack(ref: Dict[str, Any]) -> config.StackSpec:
     kw = dict(ref.get("kw") or {})
     if "rails" in kw:
         kw["rails"] = tuple(kw["rails"])
-    return factory(**kw)
+    spec = factory(**kw)
+    if spec.pioman and spec.progress is None:
+        # Campaign results are content-addressed by the point config
+        # alone, so the ambient REPRO_PROGRESS knob must never leak in:
+        # pin the reference engine unless the point selects one
+        # explicitly (``stack_ref(..., progress="manual_poll")``).
+        spec = spec.with_(progress="pioman")
+    return spec
 
 
 def _exec_netpipe(params: Dict[str, Any]) -> Dict[str, Any]:
@@ -151,6 +158,41 @@ def _exec_topo_multirail(params: Dict[str, Any]) -> Dict[str, Any]:
                 rt.cluster.fabrics["mx"].observed_source_delay(0)}
 
 
+def _exec_reg_churn(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Rendezvous buffer churn against the IB pin-down cache.
+
+    Rank 0 streams rendezvous transfers to rank 1 cycling through
+    ``sizes`` for ``rounds`` rounds; when the cycled working set
+    exceeds the configured cache capacity the LRU keeps evicting, so
+    the result exposes the cache's hit/evict behaviour (summed over
+    both ranks' caches) next to the run's elapsed time.
+    """
+    from repro.runtime.builder import MPIRuntime
+
+    spec = build_stack(params["stack"])
+    sizes, rounds = params["sizes"], params["rounds"]
+
+    def prog(comm):
+        tag = 0
+        for _ in range(rounds):
+            for size in sizes:
+                if comm.rank == 0:
+                    yield from comm.send(1, tag=tag, size=size)
+                else:
+                    yield from comm.recv(src=0, tag=tag)
+                tag += 1
+
+    rt = MPIRuntime(2, spec, cluster=config.xeon_pair())
+    res = rt.run(prog)
+    caches = [stack.core.reg_cache for stack in rt.stacks
+              if stack.core.reg_cache is not None]
+    return {"elapsed": res.elapsed,
+            "hits": sum(c.hits for c in caches),
+            "misses": sum(c.misses for c in caches),
+            "evictions": sum(c.evictions for c in caches),
+            "pinned_bytes": sum(c.pinned_bytes for c in caches)}
+
+
 _EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "netpipe": _exec_netpipe,
     "overlap": _exec_overlap,
@@ -158,6 +200,7 @@ _EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "stencil": _exec_stencil,
     "coll": _exec_coll,
     "topo_multirail": _exec_topo_multirail,
+    "reg_churn": _exec_reg_churn,
 }
 
 

@@ -41,6 +41,7 @@ ALL_MODULES: Tuple[str, ...] = tuple(EXPERIMENTS) + (
     "ext_stencil_overlap",
     "ext_collectives",
     "ext_topology",
+    "ext_progress",
 )
 
 

@@ -49,6 +49,12 @@ _STACKS = {
     "mpich2_nmad_netmod": config.mpich2_nmad_netmod,
     "mpich2_nmad_multirail": lambda: config.mpich2_nmad(rails=("ib", "mx")),
     "mpich2_nmad_reliable": config.mpich2_nmad_reliable,
+    # progress-engine / registration-cache variants (docs/PROGRESS.md)
+    "mpich2_nmad_manual_poll":
+        lambda: config.mpich2_nmad_pioman(progress="manual_poll"),
+    "mpich2_nmad_dedicated":
+        lambda: config.mpich2_nmad_pioman(progress="dedicated_thread"),
+    "mpich2_nmad_regcache": lambda: config.mpich2_nmad(ib_reg_cache=8 << 20),
     "mvapich2": config.mvapich2,
     "openmpi_ib": config.openmpi_ib,
     "openmpi_pml_mx": config.openmpi_pml_mx,

@@ -61,7 +61,13 @@ class StackSpec:
     strategy: str = "aggreg"                 # nmad scheduling strategy
     mode: str = "direct"                     # "direct" | "netmod"
     pioman: bool = False
+    #: progress-engine kind (repro.pioman.engines.ENGINE_KINDS) when
+    #: ``pioman`` is on; None -> REPRO_PROGRESS env, then "pioman"
+    progress: Optional[str] = None
     reg_cache: bool = False                  # nmad registers on the fly
+    #: IB pin-down registration cache capacity in bytes (Liu et al.
+    #: cs/0310059); 0 keeps today's on-the-fly registration
+    ib_reg_cache: int = 0
     nmad_costs: NmadCosts = field(default_factory=NmadCosts)
     ch3_costs: CH3Costs = field(default_factory=CH3Costs)
     shm_costs: ShmCosts = field(default_factory=ShmCosts)

@@ -13,6 +13,7 @@ from repro.experiments.common import host_clock
 from repro.experiments import (
     ext_collectives,
     ext_is_datatypes,
+    ext_progress,
     ext_stencil_overlap,
     ext_topology,
     fig4_infiniband,
@@ -26,7 +27,7 @@ from repro.experiments import (
 def main(fast: bool = False) -> None:
     modules = [fig4_infiniband, fig5_multirail, fig6_pioman_overhead,
                fig7_overlap, fig8_nas, ext_is_datatypes, ext_stencil_overlap,
-               ext_collectives, ext_topology]
+               ext_collectives, ext_topology, ext_progress]
     for mod in modules:
         t0 = host_clock()
         print("\n" + "=" * 72)

@@ -61,6 +61,8 @@ class MemParams:
     reg_per_byte: float = 2.5e-11
     #: cost of a registration-cache hit (s)
     reg_cache_hit: float = 0.2e-6
+    #: deregistration (unpinning) cost per evicted region (s)
+    dereg_base: float = 2.0e-6
     #: cost of one poll probe of a queue (s)
     poll_cost: float = 30e-9
 

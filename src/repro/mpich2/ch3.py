@@ -132,8 +132,9 @@ class CH3Stack(BaseStack):
     def _pioman_sync(self, shm: bool) -> float:
         if self.pioman is None:
             return 0.0
-        p = self.pioman.params
-        return (p.sync_shm if shm else p.sync_net) / 2.0
+        # engine-dependent: the reference engine charges half the Fig. 6
+        # sync overhead per side; manual_poll has no shared state -> 0
+        return self.pioman.sync_cost(shm)
 
     # ------------------------------------------------------------------
     # MPI entry points (generators run on the application thread)
@@ -394,7 +395,7 @@ class CH3Stack(BaseStack):
         but medium eager payloads sit in the strategy until the
         application re-enters the library — Fig. 7a."""
         if self.pioman is not None:
-            self.pioman.submit(self._pump_ltask)
+            self.pioman.submit(self._pump_ltask, rank=self.rank)
         elif (size <= self.costs.inline_pump_threshold
               or size > self.core.costs.eager_threshold):
             self.core.strategy.pump()

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Iterable, Optional
+from typing import Any, Deque, Iterable, Optional, Union
 
 from repro.mpich2.request import MPIRequest
-from repro.pioman import PIOMan
+from repro.pioman import PIOMan, ProgressEngine
 from repro.simulator import Simulator
 from repro.threads.marcel import MarcelScheduler
 
@@ -42,7 +42,7 @@ class BaseStack:
     """One MPI process's communication stack."""
 
     def __init__(self, sim: Simulator, rank: int, node, scheduler: MarcelScheduler,
-                 pioman: Optional[PIOMan] = None):
+                 pioman: Optional[Union[PIOMan, ProgressEngine]] = None):
         self.sim = sim
         self.rank = rank
         self.node = node
@@ -64,7 +64,8 @@ class BaseStack:
     def deliver(self, item: Any) -> None:
         """Hand incoming protocol work to the progress engine."""
         if self.pioman is not None:
-            self.pioman.submit(lambda: self._progress_item(item))
+            self.pioman.submit(lambda: self._progress_item(item),
+                               rank=self.rank)
             self._wake()  # probe loops listen for arrivals too
         else:
             self.sim.race_write(f"mpich2.inbox@r{self.rank}", "deliver")
@@ -165,6 +166,10 @@ class BaseStack:
         """Run the progress engine once (generator)."""
         if self.pioman is None:
             yield from self._drain()
+        else:
+            # background engines make this a no-op; manual_poll drains
+            # its ltask queue on the calling thread here
+            yield from self.pioman.progress()
 
     def iprobe(self, src: Any, tag: Any):
         """Nonblocking probe; generator returning (source, size) or None."""
@@ -179,7 +184,9 @@ class BaseStack:
             hit = self.probe_unexpected(src, tag)
             if hit is not None:
                 return hit
-            if self.pioman is None:
+            if self.pioman is None or not self.pioman.background:
+                # active mode / manual_poll: a new arrival re-enters the
+                # drain via the signal, nothing progresses without us
                 yield self._signal
             else:
                 # background progress: re-check shortly after any arrival

@@ -141,6 +141,9 @@ class NmadCore:
         self.check_ordering = check_ordering
         self.reliability = reliability
         self.health: Optional[RailHealthMonitor] = None
+        #: pin-down registration cache, adopted from the IB rail (None =
+        #: the paper's on-the-fly registration)
+        self.reg_cache = None
 
         self.drivers: List[NmadDriver] = []
         self._preferred: List[NmadDriver] = []
@@ -182,6 +185,9 @@ class NmadCore:
         driver.race_name = f"nmad.pending@r{self.rank}:{driver.name}"
         # repro-check: allow[RPC004] build-time wiring, sim not running
         self.drivers.append(driver)
+        if driver.reg_cache is not None:
+            # repro-check: allow[RPC004] build-time wiring, sim not running
+            self.reg_cache = driver.reg_cache
         self.refresh_preferred()
 
     def set_strategy(self, strategy) -> None:
@@ -509,10 +515,28 @@ class NmadCore:
         # progress without this copy
         return True
 
+    def _reg_cost(self, way: str, peer: int, req_id: int, size: int) -> float:
+        """Memory-registration cost for one rendezvous buffer.
+
+        Without a pin-down cache this is today's on-the-fly registration
+        (paper Section 4.1.1), keyed by the globally unique request id.
+        With a cache, the key models buffer reuse — applications (like
+        NetPIPE) re-use their transfer buffers, so a same-peer same-size
+        transfer re-pins the same region; the native comparators use the
+        same convention.
+        """
+        if self.reg_cache is None:
+            return self.registrar.cost((way, req_id), size)
+        cost, info = self.reg_cache.lookup((way, peer, size), size)
+        if self.sim.tracing:
+            self.sim.record("nmad.reg_cache", rank=self.rank, way=way,
+                            size=size, **info)
+        return cost
+
     def _grant_rdv(self, req: NmadRequest, src_rank: int, size: int, rdv_id: int):
         """Register the receive buffer and send clear-to-send."""
         req.size = size
-        reg_cost = self.registrar.cost(("rx", req.req_id), size)
+        reg_cost = self._reg_cost("rx", src_rank, req.req_id, size)
         if self.sim.tracing:
             self.sim.record("nmad.rdv_grant", rdv=rdv_id, src=src_rank,
                             dst=self.rank, size=size, dur=reg_cost)
@@ -550,8 +574,9 @@ class NmadCore:
             state.timer.cancel()
             state.timer = None
         req = state.req
-        # on-the-fly registration of the send buffer: no cache (paper 4.1.1)
-        reg_cost = self.registrar.cost(("tx", req.req_id), req.size)
+        # send-buffer registration: on the fly (paper 4.1.1) unless the
+        # IB rail carries a pin-down cache
+        reg_cost = self._reg_cost("tx", req.peer, req.req_id, req.size)
         if self.sim.tracing:
             self.sim.record(
                 "nmad.cts_rx", rdv=entry.rdv_id, src=self.rank,

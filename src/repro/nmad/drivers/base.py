@@ -39,6 +39,8 @@ class NmadDriver:
         #: called as ``on_injected(pw, driver)`` at local completion
         self.on_injected: Optional[Callable[[PacketWrapper, "NmadDriver"], None]] = None
         self.pws_posted = 0
+        #: pin-down registration cache (IB rails only; None = on the fly)
+        self.reg_cache = None
         # -- reliability state (inert unless `reliability` is set) -----
         self.reliability: Optional[ReliabilityParams] = None
         self.health = None          # RailHealthMonitor, set by the builder

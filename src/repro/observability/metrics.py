@@ -174,6 +174,10 @@ class TraceMetrics:
     * ``strategy.pw_wire_bytes`` — wire size per packet wrapper
     * ``pioman.polls`` / ``pioman.ltasks`` / ``pioman.sem_waits``
     * ``pioman.sem_wait_time`` (seconds)
+    * ``pioman.engine.polls[engine]`` / ``pioman.engine.ltasks[engine]``
+      / ``pioman.engine.steals`` — alternative progress engines
+    * ``nmad.reg_hits`` / ``nmad.reg_misses`` / ``nmad.reg_evicted_bytes``
+      / ``nmad.reg_pinned_bytes`` — IB pin-down registration cache
     * ``mpich2.sends[path]`` / ``mpich2.recv_posts``
     * ``mpich2.anysource_scans`` / ``mpich2.anysource_hits``
     * ``mpich2.cell_copy_bytes`` / ``mpich2.shm_messages``
@@ -253,6 +257,27 @@ class TraceMetrics:
 
     def _on_ltask(self, rec: TraceRecord) -> None:
         self.registry.counter("pioman.ltasks").inc()
+
+    def _on_engine_poll(self, rec: TraceRecord) -> None:
+        self.registry.counter("pioman.engine.polls",
+                              rec.data.get("engine", "?")).inc()
+
+    def _on_engine_ltask(self, rec: TraceRecord) -> None:
+        self.registry.counter("pioman.engine.ltasks",
+                              rec.data.get("engine", "?")).inc()
+
+    def _on_engine_steal(self, rec: TraceRecord) -> None:
+        self.registry.counter("pioman.engine.steals").inc()
+
+    def _on_reg_cache(self, rec: TraceRecord) -> None:
+        hit = rec.data.get("hit", False)
+        self.registry.counter(
+            "nmad.reg_hits" if hit else "nmad.reg_misses").inc()
+        evicted = rec.data.get("evicted", 0)
+        if evicted:
+            self.registry.counter("nmad.reg_evicted_bytes").inc(evicted)
+        self.registry.gauge("nmad.reg_pinned_bytes").set(
+            rec.data.get("pinned", 0))
 
     def _on_sem_wait(self, rec: TraceRecord) -> None:
         self.registry.counter("pioman.sem_waits").inc()
@@ -343,8 +368,12 @@ class TraceMetrics:
         "nmad.unexpected_match": _on_unexpected_match,
         "strategy.push": _on_push,
         "strategy.pw_built": _on_pw_built,
+        "nmad.reg_cache": _on_reg_cache,
         "pioman.poll": _on_poll,
         "pioman.ltask": _on_ltask,
+        "pioman.engine.poll": _on_engine_poll,
+        "pioman.engine.ltask": _on_engine_ltask,
+        "pioman.engine.steal": _on_engine_steal,
         "pioman.sem_wait": _on_sem_wait,
         "pioman.sem_wake": _on_sem_wake,
         "mpich2.send": _on_mpi_send,

@@ -68,6 +68,9 @@ CATEGORIES: Dict[str, str] = {
     "nmad.unexpected_match": "posted receive consumed an unexpected message "
                              "(residency = time it sat in the queue)",
     "nmad.seq_check": "per-(source, tag) message-ordering check",
+    "nmad.reg_cache": "IB pin-down registration-cache lookup "
+                      "(hit, evicted = bytes unpinned, pinned = bytes "
+                      "resident after)",
     # -- strategy (optimization window) --------------------------------
     "strategy.push": "send item queued in the optimization window "
                      "(pending = window depth after push)",
@@ -85,6 +88,13 @@ CATEGORIES: Dict[str, str] = {
     "pioman.sem_wait": "application thread blocked on a semaphore, "
                        "releasing its core",
     "pioman.sem_wake": "semaphore wait satisfied (waited = blocked time)",
+    "pioman.engine.poll": "an alternative progress engine polled its "
+                          "ltask queues (engine = manual_poll|"
+                          "dedicated_thread, pending)",
+    "pioman.engine.ltask": "one ltask dispatched by a progress engine "
+                           "(engine = kind, dur = dispatch cost)",
+    "pioman.engine.steal": "dedicated progress thread stole work from "
+                           "another rank's queue (victim = rank)",
     # -- MPICH2 (CH3 / Nemesis) ----------------------------------------
     "mpich2.op.begin": "a blocking MPI API operation entered on a rank "
                        "(op = send|recv|wait|sendrecv)",

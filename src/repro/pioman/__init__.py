@@ -6,8 +6,31 @@ of application computation.  Application waits become semaphore-style
 blocks instead of busy-wait loops; the price is extra synchronization
 (~450 ns intra-node, ~2 us on the network path, per the paper's Fig. 6),
 the gain is communication/computation overlap (Fig. 7).
+
+The 2009 threaded design is one point in a wider design space: the
+pluggable progress-engine layer in :mod:`repro.pioman.engines` offers
+``manual_poll`` and ``dedicated_thread`` alternatives (Zhou et al.
+2024), selectable per stack or via the ``REPRO_PROGRESS`` env knob.
+See ``docs/PROGRESS.md``.
 """
 
+from repro.pioman.engines import (
+    ENGINE_KINDS,
+    PROGRESS_ENV,
+    DedicatedThreadEngine,
+    ManualPollEngine,
+    ProgressEngine,
+    make_engine,
+)
 from repro.pioman.manager import PIOMan, PIOManParams
 
-__all__ = ["PIOMan", "PIOManParams"]
+__all__ = [
+    "ENGINE_KINDS",
+    "PROGRESS_ENV",
+    "DedicatedThreadEngine",
+    "ManualPollEngine",
+    "PIOMan",
+    "PIOManParams",
+    "ProgressEngine",
+    "make_engine",
+]

@@ -51,7 +51,18 @@ class PIOManParams:
 
 
 class PIOMan:
-    """Per-node I/O manager."""
+    """Per-node I/O manager — the *reference* progress engine.
+
+    The pluggable layer lives in :mod:`repro.pioman.engines`; PIOMan is
+    registered there under kind ``"pioman"`` and its behaviour is pinned
+    byte-identical to the pre-refactor goldens by the cross-engine
+    differential suite (``tests/pioman/test_engine_differential.py``).
+    """
+
+    #: registry name in :data:`repro.pioman.engines.ENGINE_KINDS`
+    kind = "pioman"
+    #: progress happens on a background worker, without the application
+    background = True
 
     def __init__(self, sim: Simulator, scheduler: MarcelScheduler,
                  params: PIOManParams = PIOManParams()):
@@ -63,11 +74,14 @@ class PIOMan:
         self.ltasks_run = 0
 
     # -- background work -------------------------------------------------
-    def submit(self, work: Callable[[], Generator]) -> None:
+    def submit(self, work: Callable[[], Generator],
+               rank: int = 0) -> None:
         """Queue an ltask: ``work()`` must return a generator to run.
 
         The generator executes on the PIOMan worker thread while it
         holds a core; its simulated duration is whatever it yields.
+        ``rank`` is accepted for engine-contract compatibility and
+        ignored: the reference engine keeps one shared per-node queue.
         """
         self.sim.race_write(f"pioman.queue@n{self.scheduler.node_id}",
                             "submit")
@@ -139,3 +153,18 @@ class PIOMan:
                             dur=self.params.wakeup_cost)
         yield self.sim.timeout(self.params.wakeup_cost)
         yield self.scheduler.acquire_core()
+
+    # -- engine contract (see repro.pioman.engines) ------------------------
+    def progress(self) -> Generator:
+        """Background engine: application-side progress is a no-op."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def sync_cost(self, shm: bool) -> float:
+        """Per-message synchronization overhead (one half, send or recv)."""
+        return (self.params.sync_shm if shm else self.params.sync_net) / 2.0
+
+    def teardown(self) -> None:
+        """Drop pending ltasks; the worker exits at its next queue check."""
+        # repro-check: allow[RPC004] shutdown path, no tasks are active
+        self._queue.clear()

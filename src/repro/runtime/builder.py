@@ -20,10 +20,11 @@ from repro.mpich2.ch3 import CH3Stack
 from repro.mpich2.nemesis.shm import NemesisShm
 from repro.nmad.core import NmadCore
 from repro.nmad.drivers import make_ib_driver, make_mx_driver
+from repro.nmad.drivers.ib import RegistrationCache
 from repro.nmad.packet import PacketWrapper
 from repro.nmad.reliability import FrameReliability, RailHealthMonitor
 from repro.nmad.strategies import make_strategy
-from repro.pioman import PIOMan
+from repro.pioman import PIOMan, make_engine
 from repro.simulator import Simulator, Trace
 from repro.threads.marcel import MarcelScheduler
 
@@ -107,7 +108,8 @@ class MPIRuntime:
             # repro-check: allow[RPC004] build-time wiring, sim not running
             self.schedulers[node.node_id] = sched
             if self.spec.pioman:
-                node.pioman = PIOMan(self.sim, sched, self.spec.pioman_params)
+                node.pioman = make_engine(self.spec.progress, self.sim,
+                                          sched, self.spec.pioman_params)
             # repro-check: allow[RPC004] build-time wiring, sim not running
             self.piomans[node.node_id] = node.pioman
             if self.spec.kind == "nmad":
@@ -147,8 +149,16 @@ class MPIRuntime:
         )
         for rail in self.spec.rails:
             nic = node.nics[rail]
-            maker = make_ib_driver if rail == "ib" else make_mx_driver
-            core.add_driver(maker(nic, window=self.spec.driver_window))
+            if rail == "ib":
+                # per-rank pin-down cache: registrations are per-process
+                reg_cache = (RegistrationCache(node.params.mem,
+                                               self.spec.ib_reg_cache)
+                             if self.spec.ib_reg_cache > 0 else None)
+                driver = make_ib_driver(nic, window=self.spec.driver_window,
+                                        reg_cache=reg_cache)
+            else:
+                driver = make_mx_driver(nic, window=self.spec.driver_window)
+            core.add_driver(driver)
         core.set_strategy(make_strategy(self.spec.strategy, core))
         return CH3Stack(
             self.sim, rank, node, node.scheduler, core,

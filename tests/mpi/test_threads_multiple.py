@@ -114,7 +114,8 @@ def waiting_vs_compute_program(comm):
 def test_pioman_waiting_thread_releases_core():
     """With PIOMan the waiter blocks on a semaphore, freeing its core:
     the compute thread finishes long before the message arrives."""
-    r = run_mpi(waiting_vs_compute_program, 2, config.mpich2_nmad_pioman(),
+    r = run_mpi(waiting_vs_compute_program, 2,
+                config.mpich2_nmad_pioman(progress="pioman"),
                 cluster=small_node_cluster(cores=2))
     got, compute_done = r.result(0)
     assert got == "finally"

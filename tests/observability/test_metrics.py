@@ -75,7 +75,10 @@ def test_registry_snapshot_and_table():
 def _run_metrics(program, spec=None, **kw):
     trace = Trace()
     metrics = attach_metrics(trace)
-    run_mpi(program, 2, spec or config.mpich2_nmad_pioman(),
+    # reference engine pinned: the hand-counted numbers below are the
+    # reference record stream (see tests/observability/helpers.py)
+    run_mpi(program, 2,
+            spec or config.mpich2_nmad_pioman(progress="pioman"),
             cluster=config.xeon_pair(), trace=trace, **kw)
     return trace, metrics
 

@@ -154,3 +154,181 @@ def test_wakeup_cost_charged():
     sim.schedule(10e-6, evt.succeed)
     sim.run()
     assert done == [pytest.approx(11e-6)]
+
+
+# ---------------------------------------------------------------------------
+# engine-contract edge cases exposed by the pluggable refactor
+# ---------------------------------------------------------------------------
+
+def make_engine_under_test(kind, cores=2, **param_overrides):
+    from repro.pioman import make_engine
+
+    sim = Simulator()
+    sched = MarcelScheduler(sim, NodeParams(cores=cores))
+    params = PIOManParams(**param_overrides)
+    return sim, sched, make_engine(kind, sim, sched, params)
+
+
+def test_reference_progress_is_a_noop():
+    """Background engines do nothing on application-side progress."""
+    sim, sched, pm = make_pioman()
+    assert list(pm.progress()) == []
+    assert pm.ltasks_run == 0
+
+
+def test_manual_poll_empty_queue_progress_completes():
+    """Polling an empty ltask queue must terminate without charges."""
+    sim, sched, engine = make_engine_under_test("manual_poll")
+    done = []
+
+    def app():
+        yield sim.timeout(1e-6)
+        yield from engine.progress()
+        done.append(sim.now)
+
+    sim.spawn(app())
+    sim.run()
+    # no queued work -> no ltask_cost, no sync region, no time passes
+    assert done == [pytest.approx(1e-6)]
+    assert engine.ltasks_run == 0
+
+
+def test_manual_poll_semaphore_wait_empty_queue_blocks_until_event():
+    sim, sched, engine = make_engine_under_test("manual_poll")
+    evt = sim.event()
+    woke = []
+
+    def app():
+        yield sched.acquire_core()
+        yield from engine.semaphore_wait(evt)
+        woke.append(sim.now)
+        sched.release_core()
+
+    sched.spawn(app())
+    sim.schedule(7e-6, evt.succeed)
+    sim.run()
+    # no wakeup_cost in manual mode: the waiter was spinning, not parked
+    assert woke == [pytest.approx(7e-6)]
+
+
+def test_dedicated_completion_during_steal():
+    """An ltask stolen from another rank's queue completes a waiter while
+    the worker is still draining; nothing is lost or run twice."""
+    sim, sched, engine = make_engine_under_test(
+        "dedicated_thread", cores=2, ltask_cost=0.1e-6, wakeup_cost=0.05e-6)
+    evt = sim.event()
+    log = []
+
+    def slow_ltask():
+        log.append(("slow", sim.now))
+        yield sim.timeout(5e-6)
+
+    def completing_ltask():
+        log.append(("complete", sim.now))
+        evt.succeed()
+        yield sim.timeout(0)
+
+    def trailing_ltask():
+        log.append(("trail", sim.now))
+        yield sim.timeout(0)
+
+    def app():
+        yield sched.acquire_core()
+        engine.submit(slow_ltask, rank=0)
+        engine.submit(completing_ltask, rank=1)   # stolen mid-drain
+        engine.submit(trailing_ltask, rank=0)
+        yield from engine.semaphore_wait(evt)
+        log.append(("woke", sim.now))
+        sched.release_core()
+
+    sched.spawn(app())
+    sim.run()
+    # rank 0's queue drains FIFO first, then the worker steals rank 1's
+    # completing ltask, which wakes the parked waiter
+    assert [tag for tag, _ in log] == ["slow", "trail", "complete", "woke"]
+    assert engine.ltasks_run == 3
+    assert engine.steals >= 1                    # rank 1's queue was robbed
+    woke_at = dict((tag, t) for tag, t in log)["woke"]
+    completed_at = dict((tag, t) for tag, t in log)["complete"]
+    assert woke_at == pytest.approx(completed_at + 0.05e-6)  # wakeup_cost
+
+
+@pytest.mark.parametrize("kind", ["pioman", "manual_poll",
+                                  "dedicated_thread"])
+def test_teardown_with_inflight_health_check(kind):
+    """Reliability health checks ride the engine as ltasks; tearing the
+    engine down with a check still queued must drop it cleanly — the
+    rail is neither declared dead nor the simulation wedged."""
+    from types import SimpleNamespace
+
+    from repro.nmad.reliability import RailHealthMonitor, ReliabilityParams
+
+    class _Driver:                               # hashable, unlike a
+        alive = True                             # SimpleNamespace
+
+    sim, sched, engine = make_engine_under_test(kind)
+    core = SimpleNamespace(sim=sim, rank=0, node_id=sched.node_id)
+    monitor = RailHealthMonitor(core, ReliabilityParams(), pioman=engine)
+    driver = _Driver()
+
+    monitor.rail_suspect(driver)                 # queues the check ltask
+    engine.teardown()                            # ...which must be dropped
+    sim.run()
+    assert driver.alive
+    assert engine.ltasks_run == 0
+
+
+@pytest.mark.parametrize("kind", ["pioman", "manual_poll",
+                                  "dedicated_thread"])
+def test_submit_after_teardown_is_ignored(kind):
+    sim, sched, engine = make_engine_under_test(kind)
+    engine.teardown()
+    ran = []
+
+    def work():
+        ran.append(sim.now)
+        yield sim.timeout(0)
+
+    def app():
+        yield sim.timeout(1e-6)
+        engine.submit(work, rank=0)
+        yield from engine.progress()
+
+    sim.spawn(app())
+    sim.run()
+    # pioman's reference teardown only clears the queue (its worker drains
+    # on the spot), so a post-teardown submit may still run there; the
+    # alternative engines must drop it
+    if kind != "pioman":
+        assert ran == []
+    assert sim.now >= 1e-6
+
+
+def test_manual_poll_two_waiters_share_the_arrival_signal():
+    """Regression: two threads parked in semaphore_wait on the same
+    node engine must both wake on a submit — a fresh signal per waiter
+    orphans the earlier one (deadlock with several ranks per node)."""
+    sim, sched, engine = make_engine_under_test("manual_poll", cores=4)
+    evts = [sim.event(), sim.event()]
+    woke = []
+
+    def waiter(i):
+        yield sched.acquire_core()
+        yield from engine.semaphore_wait(evts[i])
+        woke.append(i)
+        sched.release_core()
+
+    def completer(i):
+        def gen():
+            evts[i].succeed()
+            yield sim.timeout(0)
+        return gen
+
+    sched.spawn(waiter(0))
+    sched.spawn(waiter(1))
+    # complete waiter 1 first, then waiter 0: each submit must reach
+    # whichever waiters are parked at that moment
+    sim.schedule(2e-6, engine.submit, completer(1))
+    sim.schedule(4e-6, engine.submit, completer(0))
+    sim.run()
+    assert sorted(woke) == [0, 1]

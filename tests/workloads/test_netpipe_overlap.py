@@ -63,9 +63,11 @@ def test_overlap_non_pioman_is_additive():
 def test_overlap_pioman_approaches_max():
     compute = 400e-6
     size = 256 << 10
-    ref = run_overlap(config.mpich2_nmad_pioman(), config.xeon_pair(),
+    # reference engine pinned: this documents the 2009 threaded design
+    spec = config.mpich2_nmad_pioman(progress="pioman")
+    ref = run_overlap(spec, config.xeon_pair(),
                       sizes=[size], compute=0.0, reps=2)
-    res = run_overlap(config.mpich2_nmad_pioman(), config.xeon_pair(),
+    res = run_overlap(spec, config.xeon_pair(),
                       sizes=[size], compute=compute, reps=2)
     ideal = max(ref.at(size), compute)
     assert res.at(size) < ideal * 1.10

@@ -42,7 +42,8 @@ def test_pioman_overlap_beats_everyone():
     cfg = StencilConfig(n=4096, iters=4)
     nmad_plain = run_stencil(config.mpich2_nmad(), 16, cfg, overlap=False)
     nmad_over = run_stencil(config.mpich2_nmad(), 16, cfg, overlap=True)
-    piom_over = run_stencil(config.mpich2_nmad_pioman(), 16, cfg, overlap=True)
+    piom_over = run_stencil(config.mpich2_nmad_pioman(progress="pioman"),
+                            16, cfg, overlap=True)
 
     # pre-posting helps a little everywhere; background progress helps a lot
     assert nmad_over.time_seconds <= nmad_plain.time_seconds
